@@ -1,0 +1,65 @@
+// Micro-benchmark: Markov solver throughput — steady-state (Gauss-Seidel),
+// transient (uniformisation) and absorption solves on birth-death chains.
+#include <benchmark/benchmark.h>
+
+#include "markov/absorption.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/steady.hpp"
+#include "markov/transient.hpp"
+
+namespace {
+
+using namespace multival::markov;
+
+Ctmc birth_death(std::size_t n, double lambda, double mu) {
+  Ctmc c;
+  c.add_states(n);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    c.add_transition(static_cast<MState>(i), static_cast<MState>(i + 1),
+                     lambda, "arrive");
+    c.add_transition(static_cast<MState>(i + 1), static_cast<MState>(i), mu,
+                     "serve");
+  }
+  return c;
+}
+
+void BM_SteadyState(benchmark::State& state) {
+  const Ctmc c = birth_death(static_cast<std::size_t>(state.range(0)), 0.9,
+                             1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(steady_state(c));
+  }
+}
+BENCHMARK(BM_SteadyState)->Arg(100)->Arg(1000)->Arg(4000);
+
+void BM_Transient(benchmark::State& state) {
+  const Ctmc c = birth_death(static_cast<std::size_t>(state.range(0)), 0.9,
+                             1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(transient_distribution(c, 10.0));
+  }
+}
+BENCHMARK(BM_Transient)->Arg(100)->Arg(1000);
+
+void BM_Absorption(benchmark::State& state) {
+  // Downward drift into the absorbing bottom state.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Ctmc c;
+  c.add_states(n);
+  for (std::size_t i = 1; i < n; ++i) {
+    c.add_transition(static_cast<MState>(i), static_cast<MState>(i - 1), 2.0);
+    if (i + 1 < n) {
+      c.add_transition(static_cast<MState>(i), static_cast<MState>(i + 1),
+                       1.0);
+    }
+  }
+  c.set_initial_state(static_cast<MState>(n - 1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(expected_time_to_absorption(c));
+  }
+}
+BENCHMARK(BM_Absorption)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

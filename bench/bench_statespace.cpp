@@ -1,0 +1,41 @@
+// Micro-benchmark: explicit-state generation rate of the process-calculus
+// engine (the CAESAR-equivalent), on the case-study models.
+#include <benchmark/benchmark.h>
+
+#include "fame/coherence.hpp"
+#include "noc/mesh.hpp"
+#include "proc/generator.hpp"
+#include "xstream/queue_model.hpp"
+
+namespace {
+
+using namespace multival;
+
+void BM_GenerateXstreamQueue(benchmark::State& state) {
+  xstream::QueueConfig cfg;
+  cfg.capacity = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xstream::virtual_queue_lts_open(cfg));
+  }
+}
+BENCHMARK(BM_GenerateXstreamQueue)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_GenerateNocMeshStream(benchmark::State& state) {
+  const std::vector<noc::Flow> flows{{0, 3}, {1, 3}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(noc::stream_lts(flows));
+  }
+}
+BENCHMARK(BM_GenerateNocMeshStream);
+
+void BM_GenerateFameCoherence(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fame::coherence_system_lts(fame::Protocol::kMesi));
+  }
+}
+BENCHMARK(BM_GenerateFameCoherence);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+// Ablation studies over this reproduction's own design choices:
+//
+//  A1 — lumping on/off: how much the branching lump shrinks the closed IMC
+//       before CTMC extraction (the "compositional minimisation" knob of
+//       the performance flow).
+//  A2 — NoC input-buffer depth: functional state-space cost vs streaming
+//       throughput gain.
+//  A3 — xSTream pipeline depth: latency/throughput scaling of chained
+//       virtual queues.
+//  A4 — scheduler resolution: how wide the nondeterminism band is that the
+//       kUniform policy silently collapses.
+#include <iostream>
+
+#include "core/flow.hpp"
+#include "proc/generator.hpp"
+#include "proc/process.hpp"
+#include "core/report.hpp"
+#include "fame/mpi.hpp"
+#include "fame/topology.hpp"
+#include "imc/compose.hpp"
+#include "imc/scheduler.hpp"
+#include "markov/absorption.hpp"
+#include "noc/perf.hpp"
+#include "noc/router.hpp"
+#include "xstream/perf.hpp"
+
+int main() {
+  using namespace multival;
+  using multival::core::fmt;
+
+  // ---- A1: lumping on/off ---------------------------------------------------
+  {
+    core::Table t("A1: branching lump before CTMC extraction",
+                  {"model", "IMC states", "lumped", "reduction"});
+    const auto row = [&](const std::string& name, const imc::Imc& m) {
+      const auto with = core::close_model(m, imc::NondetPolicy::kUniform,
+                                          /*lump=*/true);
+      const auto without = core::close_model(m, imc::NondetPolicy::kUniform,
+                                             /*lump=*/false);
+      t.add_row({name, std::to_string(without.ctmc.num_states()),
+                 std::to_string(with.ctmc.num_states()),
+                 fmt(static_cast<double>(without.ctmc.num_states()) /
+                         static_cast<double>(with.ctmc.num_states()),
+                     1) + "x"});
+    };
+    {
+      // Two interleaved identical machines: lumping folds the symmetry.
+      using namespace multival::proc;
+      Program p;
+      p.define("Machine", {},
+               prefix("FETCH", prefix("WORK", prefix("SHIP",
+                      call("Machine")))));
+      p.define("Dispatcher", {}, prefix("FETCH", call("Dispatcher")));
+      p.define("Shop", {},
+               par(interleaving(call("Machine"), call("Machine")),
+                   {"FETCH"}, call("Dispatcher")));
+      row("two symmetric machines",
+          core::decorate_with_rates(generate(p, "Shop"),
+                                    {{"FETCH", 3.0},
+                                     {"WORK", 1.0},
+                                     {"SHIP", 5.0}}));
+    }
+    {
+      fame::PingPongConfig cfg;
+      cfg.rounds = 4;
+      const lts::Lts l = fame::pingpong_lts(cfg);
+      row("FAME2 ping-pong (4 rounds)",
+          core::decorate_with_rates(
+              l, fame::topology_rates(cfg.topology, {"M", "S0", "S1"})));
+    }
+    t.print(std::cout);
+    std::cout << "(symmetric systems fold; already-sequential scenarios are "
+                 "lump-minimal)\n\n";
+  }
+
+  // ---- A2: NoC buffer depth ---------------------------------------------------
+  {
+    core::Table t("A2: NoC input-buffer depth (2x2 mesh)",
+                  {"depth", "router states", "throughput 3x {0->3}"});
+    const noc::NocRates rates;
+    const std::vector<noc::Flow> flows{{0, 3}, {0, 3}, {0, 3}};
+    for (int depth = 1; depth <= 3; ++depth) {
+      noc::MeshDims dims;
+      dims.buffer_depth = depth;
+      t.add_row({std::to_string(depth),
+                 std::to_string(noc::router_lts(0, dims).num_states()),
+                 fmt(noc::delivery_throughput(flows, rates, dims))});
+    }
+    t.print(std::cout);
+    std::cout << "(depth 2 relieves the injection bottleneck for 3 packets "
+                 "in flight, then saturates — at a steep state-space "
+                 "premium)\n\n";
+  }
+
+  // ---- A3: xSTream pipeline depth ----------------------------------------------
+  {
+    core::Table t("A3: xSTream pipeline depth (push 1.0, pop 2.0)",
+                  {"stages", "throughput", "end-to-end latency",
+                   "CTMC states"});
+    xstream::PipelinePerfParams p;
+    p.push_rate = 1.0;
+    p.pop_rate = 2.0;
+    for (int stages = 2; stages <= 4; ++stages) {
+      const auto r = xstream::analyze_pipeline_n(p, stages);
+      t.add_row({std::to_string(stages), fmt(r.throughput),
+                 fmt(r.mean_latency), std::to_string(r.ctmc_states)});
+    }
+    t.print(std::cout);
+    std::cout << "(latency grows with depth; throughput stays "
+                 "arrival-bound)\n\n";
+  }
+
+  // ---- A4: scheduler band width ---------------------------------------------------
+  {
+    core::Table t("A4: what uniform resolution hides (fast-or-slow race)",
+                  {"slow-path rate", "min", "uniform", "max",
+                   "band width"});
+    for (const double slow : {4.0, 2.0, 1.0, 0.5}) {
+      imc::Imc m;
+      m.add_states(4);
+      m.add_interactive(0, "i", 1);
+      m.add_interactive(0, "i", 2);
+      m.add_markovian(1, 4.0, 3);
+      m.add_markovian(2, slow, 3);
+      const auto b = imc::absorption_time_bounds(m);
+      const auto e = imc::to_ctmc(m, imc::NondetPolicy::kUniform);
+      const double uni =
+          markov::expected_absorption_time_from_initial(e.ctmc);
+      t.add_row({fmt(slow, 1), fmt(b.min), fmt(uni), fmt(b.max),
+                 fmt(b.max - b.min)});
+    }
+    t.print(std::cout);
+    std::cout << "(the band widens as the alternatives diverge — exactly "
+                 "the information a point estimate destroys)\n";
+  }
+  return 0;
+}

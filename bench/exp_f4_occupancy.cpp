@@ -1,0 +1,32 @@
+// Experiment F4 — "STMicroelectronics explores this flow to predict ...
+// occupancy within xSTream queues": steady-state occupancy distribution of
+// the virtual queue as the offered load varies.
+#include <iostream>
+
+#include "core/report.hpp"
+#include "xstream/perf.hpp"
+
+int main() {
+  using namespace multival;
+  using namespace multival::xstream;
+
+  const double mu = 2.0;
+  core::Table t("F4: xSTream queue occupancy distribution (capacity 2+1, "
+                "pop rate 2.0)",
+                {"load rho", "P[0]", "P[1]", "P[2]", "P[3]", "mean occ"});
+  for (const double rho : {0.3, 0.6, 0.9, 1.2, 2.0}) {
+    QueuePerfParams p;
+    p.push_rate = rho * mu;
+    p.pop_rate = mu;
+    const QueuePerfResult r = analyze_virtual_queue(p);
+    t.add_row({core::fmt(rho, 2), core::fmt(r.occupancy_distribution[0]),
+               core::fmt(r.occupancy_distribution[1]),
+               core::fmt(r.occupancy_distribution[2]),
+               core::fmt(r.occupancy_distribution[3]),
+               core::fmt(r.mean_occupancy)});
+  }
+  t.print(std::cout);
+  std::cout << "(shape: mass moves from occupancy 0 towards the full queue "
+               "as load crosses 1)\n";
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Experiment F8 — "To avoid state space explosion, refined approaches based
+// on compositional verification ... are used": peak intermediate state
+// count of the compositional strategy (minimise after every join) versus
+// the monolithic strategy, on growing xSTream-style pipelines.
+#include <iostream>
+
+#include "compose/pipeline.hpp"
+#include "core/report.hpp"
+#include "proc/generator.hpp"
+#include "proc/process.hpp"
+
+namespace {
+
+using namespace multival;
+using namespace multival::proc;
+
+/// A pipeline of @p cells one-value buffers over values 0..2.
+Program pipeline_program(int cells) {
+  Program p;
+  for (int i = 0; i < cells; ++i) {
+    const std::string in = i == 0 ? "IN" : "M" + std::to_string(i);
+    const std::string out =
+        i == cells - 1 ? "OUT" : "M" + std::to_string(i + 1);
+    p.define("Cell" + std::to_string(i), {},
+             prefix(in, {accept("x", 0, 2)},
+                    prefix(out, {emit(evar("x"))},
+                           call("Cell" + std::to_string(i)))));
+  }
+  return p;
+}
+
+compose::NodePtr build_tree(const Program& p, int cells) {
+  auto cell = [&p](int i) {
+    return compose::leaf(
+        [&p, i]() { return generate(p, "Cell" + std::to_string(i)); },
+        "cell" + std::to_string(i));
+  };
+  compose::NodePtr acc = cell(0);
+  std::vector<std::string> hidden;
+  for (int i = 1; i < cells; ++i) {
+    const std::string mid = "M" + std::to_string(i);
+    acc = compose::minimize_here(
+        compose::hide_gates({mid},
+                            compose::compose2(acc, {mid}, cell(i))));
+    hidden.push_back(mid);
+  }
+  return acc;
+}
+
+}  // namespace
+
+int main() {
+  using multival::core::fmt;
+
+  multival::core::Table t(
+      "F8: compositional vs monolithic generation (pipeline of 1-place "
+      "buffers, values 0..2)",
+      {"cells", "monolithic peak", "compositional peak", "final states",
+       "peak ratio", "equivalent"});
+  for (int cells = 2; cells <= 6; ++cells) {
+    const Program p = pipeline_program(cells);
+    const auto tree = build_tree(p, cells);
+    const auto cmp = compose::compare_strategies(tree);
+    const double ratio =
+        static_cast<double>(cmp.monolithic.peak_states) /
+        static_cast<double>(cmp.compositional.peak_states);
+    // Final size = last step of the compositional run.
+    const std::size_t final_states =
+        cmp.compositional.steps.back().states_after;
+    t.add_row({std::to_string(cells),
+               std::to_string(cmp.monolithic.peak_states),
+               std::to_string(cmp.compositional.peak_states),
+               std::to_string(final_states), fmt(ratio, 2) + "x",
+               cmp.equivalent ? "yes" : "NO"});
+  }
+  t.print(std::cout);
+  std::cout << "(shape: the monolithic peak grows exponentially with the "
+               "pipeline depth; interleaved minimisation keeps the peak "
+               "near the final size)\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Experiment T1 — "LOTOS models are translated into LTSs, which enumerate
+// the state space of the model": state-space inventory of every Multival
+// case-study model in this reproduction.
+#include <iostream>
+
+#include "core/report.hpp"
+#include "fame/coherence.hpp"
+#include "fame/coherence_n.hpp"
+#include "fame/mpi.hpp"
+#include "noc/mesh.hpp"
+#include "noc/router.hpp"
+#include "xstream/queue_model.hpp"
+
+int main() {
+  using namespace multival;
+  using namespace multival::core;
+
+  Table t("T1: state spaces of the case-study models",
+          {"architecture", "model", "states", "transitions"});
+
+  const auto row = [&](const char* arch, const std::string& model,
+                       const lts::Lts& l) {
+    t.add_row({arch, model, std::to_string(l.num_states()),
+               std::to_string(l.num_transitions())});
+  };
+
+  for (int cap = 1; cap <= 3; ++cap) {
+    xstream::QueueConfig cfg;
+    cfg.capacity = cap;
+    row("xSTream", "virtual queue (cap " + std::to_string(cap) + ")",
+        xstream::virtual_queue_lts(cfg));
+  }
+  {
+    xstream::QueueConfig cfg;
+    cfg.variant = xstream::QueueVariant::kEagerCredit;
+    row("xSTream", "virtual queue (eager-credit bug)",
+        xstream::virtual_queue_lts(cfg));
+  }
+
+  row("FAUST", "router (free environment)", noc::router_lts(0));
+  row("FAUST", "3x3 centre router (free environment)",
+      noc::router_lts(4, noc::MeshDims{3, 3}));
+  row("FAUST", "2x2 mesh, 1 packet 0->3", noc::single_packet_lts(0, 3));
+  row("FAUST", "2x2 mesh, flows 0->3 & 1->3",
+      noc::stream_lts({{0, 3}, {1, 3}}));
+  row("FAUST", "3x3 mesh, 1 packet 0->8",
+      noc::single_packet_lts(0, 8, true, noc::MeshDims{3, 3}));
+  row("FAUST", "3x3 mesh, flows 0->8 & 8->0",
+      noc::stream_lts({{0, 8}, {8, 0}}, true, noc::MeshDims{3, 3}));
+
+  row("FAME2", "MSI coherence + observer (2 nodes)",
+      fame::coherence_system_lts(fame::Protocol::kMsi));
+  row("FAME2", "MESI coherence + observer (2 nodes)",
+      fame::coherence_system_lts(fame::Protocol::kMesi));
+  row("FAME2", "MESI coherence + observer (3 nodes)",
+      fame::coherence_system_n_lts(fame::Protocol::kMesi, 3));
+  row("FAME2", "MESI coherence + observer (4 nodes)",
+      fame::coherence_system_n_lts(fame::Protocol::kMesi, 4));
+  {
+    fame::PingPongConfig cfg;
+    cfg.rounds = 2;
+    row("FAME2", "MPI ping-pong scenario (eager, 2 rounds)",
+        fame::pingpong_lts(cfg));
+  }
+
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Experiment T2 — "those LTSs can be verified using ... the equivalence
+// checking tools (based on bisimulations)": reduction achieved by strong,
+// branching and divergence-preserving-branching minimisation on the
+// case-study models.
+#include <iostream>
+
+#include "bisim/equivalence.hpp"
+#include "core/report.hpp"
+#include "fame/coherence.hpp"
+#include "fame/coherence_n.hpp"
+#include "noc/mesh.hpp"
+#include "noc/router.hpp"
+#include "xstream/queue_model.hpp"
+
+int main() {
+  using namespace multival;
+  using namespace multival::core;
+
+  Table t("T2: bisimulation minimisation",
+          {"model", "states", "strong", "divbranching", "branching", "weak",
+           "reduction"});
+
+  const auto row = [&](const std::string& name, const lts::Lts& l) {
+    const auto strong = bisim::minimize(l, bisim::Equivalence::kStrong);
+    const auto divb =
+        bisim::minimize(l, bisim::Equivalence::kDivergenceBranching);
+    const auto branching =
+        bisim::minimize(l, bisim::Equivalence::kBranching);
+    const auto weak = bisim::minimize(l, bisim::Equivalence::kWeak);
+    const double factor =
+        static_cast<double>(l.num_states()) /
+        static_cast<double>(weak.quotient.num_states());
+    t.add_row({name, std::to_string(l.num_states()),
+               std::to_string(strong.quotient.num_states()),
+               std::to_string(divb.quotient.num_states()),
+               std::to_string(branching.quotient.num_states()),
+               std::to_string(weak.quotient.num_states()),
+               fmt(factor, 1) + "x"});
+  };
+
+  {
+    xstream::QueueConfig cfg;
+    cfg.capacity = 2;
+    row("xSTream queue (cap 2)", xstream::virtual_queue_lts(cfg));
+    cfg.capacity = 3;
+    row("xSTream queue (cap 3)", xstream::virtual_queue_lts(cfg));
+  }
+  row("FAUST router", noc::router_lts(0));
+  row("FAUST mesh, 1 packet", noc::single_packet_lts(0, 3));
+  row("FAUST mesh, 2 flows", noc::stream_lts({{0, 3}, {1, 3}}));
+  row("FAME2 MSI system", fame::coherence_system_lts(fame::Protocol::kMsi));
+  row("FAME2 MESI system", fame::coherence_system_lts(fame::Protocol::kMesi));
+  row("FAME2 MESI, 3 nodes",
+      fame::coherence_system_n_lts(fame::Protocol::kMesi, 3));
+
+  t.print(std::cout);
+  return 0;
+}

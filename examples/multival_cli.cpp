@@ -1,0 +1,319 @@
+// multival_cli — command-line driver over Aldebaran (.aut) files, in the
+// spirit of CADP's bcg_info / bcg_min / bisimulator / evaluator:
+//
+//   multival_cli info  <file.aut>
+//   multival_cli min   <strong|weak|branching|divbranching> <in.aut> [out.aut]
+//   multival_cli det   <in.aut> [out.aut]
+//   multival_cli cmp   <strong|weak|branching|divbranching|trace> <a.aut> <b.aut>
+//   multival_cli check <file.aut> '<mu-calculus formula>'
+//   multival_cli deadlocks <file.aut>
+//   multival_cli gen   <model.proc> <EntryProcess> [args...] [-o out.aut]
+//   multival_cli solve <file.imc>       (aut with "rate r" labels)
+//   multival_cli check-file <file.aut> <props.mcl>
+//       props.mcl: one "name: formula" per line; '#' comments
+//   multival_cli dot   <file.aut> [out.dot]
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+
+#include "bisim/equivalence.hpp"
+#include "bisim/trace.hpp"
+#include "lts/analysis.hpp"
+#include "lts/lts_io.hpp"
+#include "mc/diagnostic.hpp"
+#include "mc/evaluator.hpp"
+#include "mc/parser.hpp"
+#include "core/flow.hpp"
+#include "imc/imc_io.hpp"
+#include "markov/absorption.hpp"
+#include "markov/steady.hpp"
+#include "proc/generator.hpp"
+#include "proc/parser.hpp"
+
+namespace {
+
+using namespace multival;
+
+lts::Lts load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return lts::read_aut(in);
+}
+
+void save(const lts::Lts& l, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("cannot write " + path);
+  }
+  lts::write_aut(out, l);
+}
+
+bisim::Equivalence parse_equivalence(const std::string& name) {
+  if (name == "strong") {
+    return bisim::Equivalence::kStrong;
+  }
+  if (name == "weak") {
+    return bisim::Equivalence::kWeak;
+  }
+  if (name == "branching") {
+    return bisim::Equivalence::kBranching;
+  }
+  if (name == "divbranching") {
+    return bisim::Equivalence::kDivergenceBranching;
+  }
+  throw std::runtime_error("unknown equivalence: " + name);
+}
+
+int cmd_info(const std::string& path) {
+  const lts::Lts l = load(path);
+  std::cout << path << ":\n"
+            << "  states:       " << l.num_states() << "\n"
+            << "  transitions:  " << l.num_transitions() << "\n"
+            << "  labels:       " << l.actions().size() - 2 << " visible\n"
+            << "  deadlocks:    " << lts::deadlock_states(l).size() << "\n"
+            << "  tau cycles:   " << (lts::has_tau_cycle(l) ? "yes" : "no")
+            << "\n"
+            << "  unreachable:  " << lts::trim(l).removed_states << "\n";
+  return 0;
+}
+
+int cmd_min(const std::string& equiv, const std::string& in,
+            const std::string& out) {
+  const lts::Lts l = load(in);
+  const auto r = bisim::minimize(l, parse_equivalence(equiv));
+  std::cout << in << ": " << l.num_states() << " -> "
+            << r.quotient.num_states() << " states (" << equiv << ")\n";
+  if (!out.empty()) {
+    save(r.quotient, out);
+    std::cout << "written to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_det(const std::string& in, const std::string& out) {
+  const lts::Lts l = load(in);
+  const lts::Lts d = bisim::determinize(l);
+  std::cout << in << ": " << l.num_states() << " -> " << d.num_states()
+            << " deterministic states\n";
+  if (!out.empty()) {
+    save(d, out);
+    std::cout << "written to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_cmp(const std::string& equiv, const std::string& a,
+            const std::string& b) {
+  const lts::Lts la = load(a);
+  const lts::Lts lb = load(b);
+  const bool eq = equiv == "trace"
+                      ? bisim::weak_trace_equivalent(la, lb)
+                      : bisim::equivalent(la, lb, parse_equivalence(equiv));
+  std::cout << (eq ? "TRUE" : "FALSE") << " (" << equiv << ")\n";
+  return eq ? 0 : 1;
+}
+
+int cmd_check(const std::string& path, const std::string& formula_text) {
+  const lts::Lts l = load(path);
+  const mc::FormulaPtr f = mc::parse_formula(formula_text);
+  const bool holds = mc::check(l, f);
+  std::cout << (holds ? "TRUE" : "FALSE") << "  — " << f->to_string() << "\n";
+  return holds ? 0 : 1;
+}
+
+int cmd_deadlocks(const std::string& path) {
+  const lts::Lts l = load(path);
+  const auto dead = lts::deadlock_states(l);
+  if (dead.empty()) {
+    std::cout << "no reachable deadlock\n";
+    return 0;
+  }
+  std::cout << dead.size() << " reachable deadlock state(s)\n";
+  const mc::Trace t = mc::deadlock_trace(l);
+  std::cout << "shortest trace: " << t.to_string() << " (state "
+            << t.final_state << ")\n";
+  return 1;
+}
+
+int cmd_gen(int argc, char** argv) {
+  // gen <model.proc> <Entry> [int args...] [-o out.aut]
+  const std::string model_path = argv[2];
+  const std::string entry = argv[3];
+  std::vector<proc::Value> args;
+  std::string out_path;
+  for (int i = 4; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      args.push_back(static_cast<proc::Value>(std::stol(a)));
+    }
+  }
+  std::ifstream in(model_path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + model_path);
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const proc::Program program = proc::parse_program(text);
+  const lts::Lts l = proc::generate(program, entry, args);
+  std::cout << entry << ": " << l.num_states() << " states, "
+            << l.num_transitions() << " transitions\n";
+  if (!out_path.empty()) {
+    save(l, out_path);
+    std::cout << "written to " << out_path << "\n";
+  } else {
+    lts::write_aut(std::cout, l);
+  }
+  return 0;
+}
+
+int cmd_check_file(const std::string& aut_path,
+                   const std::string& props_path) {
+  const lts::Lts l = load(aut_path);
+  std::ifstream in(props_path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + props_path);
+  }
+  int failures = 0;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos || line[start] == '#') {
+      continue;
+    }
+    const std::size_t colon = line.find(':', start);
+    if (colon == std::string::npos) {
+      throw std::runtime_error(props_path + ":" + std::to_string(lineno) +
+                               ": expected 'name: formula'");
+    }
+    const std::string name = line.substr(start, colon - start);
+    const mc::FormulaPtr f = mc::parse_formula(line.substr(colon + 1));
+    const bool holds = mc::check(l, f);
+    failures += holds ? 0 : 1;
+    std::cout << (holds ? "[PASS] " : "[FAIL] ") << name << "\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+int cmd_solve(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  const imc::Imc m = imc::read_aut(in);
+  std::cout << path << ": " << m.num_states() << " states, "
+            << m.num_interactive() << " interactive + " << m.num_markovian()
+            << " markovian transitions\n";
+  const core::ClosedModel closed = core::close_model(m);
+  std::cout << "closed CTMC: " << closed.ctmc.num_states() << " states\n";
+
+  bool has_absorbing = false;
+  for (markov::MState s = 0; s < closed.ctmc.num_states(); ++s) {
+    has_absorbing = has_absorbing || closed.ctmc.is_absorbing(s);
+  }
+  if (has_absorbing) {
+    std::cout << "expected time to absorption: "
+              << markov::expected_absorption_time_from_initial(closed.ctmc)
+              << "\n";
+    return 0;
+  }
+  const auto pi = markov::steady_state(closed.ctmc);
+  // Report the throughput of every distinct probe label.
+  std::set<std::string> labels;
+  for (const auto& t : closed.ctmc.transitions()) {
+    if (!t.label.empty()) {
+      labels.insert(t.label);
+    }
+  }
+  if (labels.empty()) {
+    std::cout << "steady state computed; no labelled transitions to "
+                 "measure\n";
+  }
+  for (const std::string& label : labels) {
+    std::cout << "throughput(" << label
+              << ") = " << markov::throughput(closed.ctmc, pi, label)
+              << "\n";
+  }
+  return 0;
+}
+
+int cmd_dot(const std::string& in, const std::string& out) {
+  const lts::Lts l = load(in);
+  if (out.empty()) {
+    lts::write_dot(std::cout, l);
+  } else {
+    std::ofstream os(out);
+    if (!os) {
+      throw std::runtime_error("cannot write " + out);
+    }
+    lts::write_dot(os, l);
+    std::cout << "written to " << out << "\n";
+  }
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage:\n"
+         "  multival_cli info  <file.aut>\n"
+         "  multival_cli min   <strong|weak|branching|divbranching> <in.aut> "
+         "[out.aut]\n"
+         "  multival_cli det   <in.aut> [out.aut]\n"
+         "  multival_cli cmp   <strong|weak|branching|divbranching|trace> "
+         "<a.aut> <b.aut>\n"
+         "  multival_cli check <file.aut> '<formula>'\n"
+         "  multival_cli deadlocks <file.aut>\n"
+         "  multival_cli gen   <model.proc> <Entry> [args...] [-o out.aut]\n"
+         "  multival_cli solve <file.imc>\n"
+         "  multival_cli check-file <file.aut> <props.mcl>\n"
+         "  multival_cli dot   <file.aut> [out.dot]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "info" && argc == 3) {
+      return cmd_info(argv[2]);
+    }
+    if (cmd == "min" && (argc == 4 || argc == 5)) {
+      return cmd_min(argv[2], argv[3], argc == 5 ? argv[4] : "");
+    }
+    if (cmd == "det" && (argc == 3 || argc == 4)) {
+      return cmd_det(argv[2], argc == 4 ? argv[3] : "");
+    }
+    if (cmd == "cmp" && argc == 5) {
+      return cmd_cmp(argv[2], argv[3], argv[4]);
+    }
+    if (cmd == "check" && argc == 4) {
+      return cmd_check(argv[2], argv[3]);
+    }
+    if (cmd == "deadlocks" && argc == 3) {
+      return cmd_deadlocks(argv[2]);
+    }
+    if (cmd == "gen" && argc >= 4) {
+      return cmd_gen(argc, argv);
+    }
+    if (cmd == "solve" && argc == 3) {
+      return cmd_solve(argv[2]);
+    }
+    if (cmd == "check-file" && argc == 4) {
+      return cmd_check_file(argv[2], argv[3]);
+    }
+    if (cmd == "dot" && (argc == 3 || argc == 4)) {
+      return cmd_dot(argv[2], argc == 4 ? argv[3] : "");
+    }
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,81 @@
+#include "bisim/equivalence.hpp"
+
+#include <stdexcept>
+
+#include "bisim/branching.hpp"
+#include "bisim/strong.hpp"
+
+namespace multival::bisim {
+
+const char* to_string(Equivalence e) {
+  switch (e) {
+    case Equivalence::kStrong:
+      return "strong";
+    case Equivalence::kWeak:
+      return "weak";
+    case Equivalence::kBranching:
+      return "branching";
+    case Equivalence::kDivergenceBranching:
+      return "divbranching";
+  }
+  return "?";
+}
+
+DisjointUnion disjoint_union(const lts::Lts& a, const lts::Lts& b) {
+  DisjointUnion u;
+  u.lts = a;
+  u.b_offset = static_cast<lts::StateId>(a.num_states());
+  u.lts.add_states(b.num_states());
+  for (lts::StateId s = 0; s < b.num_states(); ++s) {
+    for (const lts::OutEdge& e : b.out(s)) {
+      u.lts.add_transition(u.b_offset + s, b.actions().name(e.action),
+                           u.b_offset + e.dst);
+    }
+  }
+  u.lts.set_initial_state(a.initial_state());
+  return u;
+}
+
+namespace {
+
+Partition run_partition(const lts::Lts& l, Equivalence e) {
+  switch (e) {
+    case Equivalence::kStrong:
+      return strong_partition(l);
+    case Equivalence::kWeak:
+      return weak_partition(l);
+    case Equivalence::kBranching:
+      return branching_partition(l, BranchingOptions{false});
+    case Equivalence::kDivergenceBranching:
+      return branching_partition(l, BranchingOptions{true});
+  }
+  throw std::logic_error("run_partition: bad equivalence");
+}
+
+}  // namespace
+
+bool equivalent(const lts::Lts& a, const lts::Lts& b, Equivalence e) {
+  if (a.num_states() == 0 || b.num_states() == 0) {
+    return a.num_states() == b.num_states();
+  }
+  const DisjointUnion u = disjoint_union(a, b);
+  const Partition p = run_partition(u.lts, e);
+  return p.block_of(a.initial_state()) ==
+         p.block_of(u.b_offset + b.initial_state());
+}
+
+MinimizeResult minimize(const lts::Lts& l, Equivalence e) {
+  switch (e) {
+    case Equivalence::kStrong:
+      return minimize_strong(l);
+    case Equivalence::kWeak:
+      return minimize_weak(l);
+    case Equivalence::kBranching:
+      return minimize_branching(l, BranchingOptions{false});
+    case Equivalence::kDivergenceBranching:
+      return minimize_branching(l, BranchingOptions{true});
+  }
+  throw std::logic_error("minimize: bad equivalence");
+}
+
+}  // namespace multival::bisim

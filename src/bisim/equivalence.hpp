@@ -1,0 +1,38 @@
+// Equivalence checking of two LTSs, in the style of CADP's BISIMULATOR /
+// ALDEBARAN: build the disjoint union, run partition refinement, and compare
+// the blocks of the two initial states.
+#pragma once
+
+#include "bisim/partition.hpp"
+#include "bisim/strong.hpp"
+#include "lts/lts.hpp"
+
+namespace multival::bisim {
+
+enum class Equivalence {
+  kStrong,
+  kWeak,  ///< observational equivalence (tau* a tau* saturation)
+  kBranching,
+  kDivergenceBranching,
+};
+
+/// Human-readable name of @p e ("strong", "branching", ...).
+[[nodiscard]] const char* to_string(Equivalence e);
+
+/// Disjoint union of two LTSs (shared action table); the initial state is
+/// a's.  Returns the union and the state offset of b's copy.
+struct DisjointUnion {
+  lts::Lts lts;
+  lts::StateId b_offset = 0;
+};
+[[nodiscard]] DisjointUnion disjoint_union(const lts::Lts& a,
+                                           const lts::Lts& b);
+
+/// True if the initial states of @p a and @p b are related by @p e.
+[[nodiscard]] bool equivalent(const lts::Lts& a, const lts::Lts& b,
+                              Equivalence e);
+
+/// Minimises @p l modulo @p e.
+[[nodiscard]] MinimizeResult minimize(const lts::Lts& l, Equivalence e);
+
+}  // namespace multival::bisim

@@ -1,0 +1,187 @@
+#include "bisim/strong.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace multival::bisim {
+
+namespace {
+
+using lts::ActionId;
+using lts::Lts;
+using lts::OutEdge;
+using lts::StateId;
+
+// A signature element packs (action, destination block).
+using SigElem = std::uint64_t;
+
+SigElem sig_elem(ActionId a, BlockId b) {
+  return (static_cast<SigElem>(a) << 32) | b;
+}
+
+struct SigHash {
+  std::size_t operator()(const std::vector<SigElem>& v) const noexcept {
+    // FNV-1a over the packed elements.
+    std::uint64_t h = 1469598103934665603ull;
+    for (const SigElem e : v) {
+      h ^= e;
+      h *= 1099511628211ull;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+}  // namespace
+
+Partition strong_partition(const Lts& l, const Partition& initial) {
+  const std::size_t n = l.num_states();
+  if (initial.num_states() != n) {
+    throw std::invalid_argument("strong_partition: partition size mismatch");
+  }
+  Partition p = initial;
+  p.normalize();
+
+  std::vector<SigElem> sig;
+  while (true) {
+    // key: (old block, signature) -> new block id.
+    std::unordered_map<std::vector<SigElem>, BlockId, SigHash> table;
+    std::vector<BlockId> next(n, 0);
+    for (StateId s = 0; s < n; ++s) {
+      sig.clear();
+      sig.push_back(p.block_of(s));  // old block, keeps refinement monotone
+      for (const OutEdge& e : l.out(s)) {
+        sig.push_back(sig_elem(e.action, p.block_of(e.dst)) + (1ull << 63));
+      }
+      std::sort(sig.begin() + 1, sig.end());
+      sig.erase(std::unique(sig.begin() + 1, sig.end()), sig.end());
+      const auto [it, inserted] =
+          table.emplace(sig, static_cast<BlockId>(table.size()));
+      next[s] = it->second;
+    }
+    const std::size_t new_blocks = table.size();
+    const bool stable = new_blocks == p.num_blocks();
+    p = Partition(std::move(next), new_blocks == 0 ? 0 : new_blocks);
+    if (stable) {
+      break;
+    }
+  }
+  return p;
+}
+
+Partition strong_partition(const Lts& l) {
+  return strong_partition(l, Partition(l.num_states()));
+}
+
+lts::Lts quotient_lts(const Lts& l, const Partition& p, bool skip_inert_tau) {
+  Lts q;
+  q.add_states(p.num_blocks());
+  if (l.num_states() > 0) {
+    q.set_initial_state(p.block_of(l.initial_state()));
+  }
+  std::vector<ActionId> amap(l.actions().size(), lts::kNoState);
+  // Exact (block, block) dedup per action.
+  std::vector<std::unordered_set<std::uint64_t>> seen(l.actions().size());
+  for (StateId s = 0; s < l.num_states(); ++s) {
+    const BlockId bs = p.block_of(s);
+    for (const OutEdge& e : l.out(s)) {
+      const BlockId bt = p.block_of(e.dst);
+      if (skip_inert_tau && lts::ActionTable::is_tau(e.action) && bs == bt) {
+        continue;
+      }
+      const std::uint64_t key = (static_cast<std::uint64_t>(bs) << 32) | bt;
+      if (!seen[e.action].insert(key).second) {
+        continue;
+      }
+      if (amap[e.action] == lts::kNoState) {
+        amap[e.action] = q.actions().intern(l.actions().name(e.action));
+      }
+      q.add_transition(bs, amap[e.action], bt);
+    }
+  }
+  return q;
+}
+
+namespace {
+
+/// Tau-saturation: the weak transition relation as an explicit LTS.
+Lts saturate(const Lts& l) {
+  const std::size_t n = l.num_states();
+  // Tau-closure per state (forward).
+  std::vector<std::vector<StateId>> closure(n);
+  for (StateId s = 0; s < n; ++s) {
+    std::vector<bool> in(n, false);
+    std::vector<StateId> stack{s};
+    in[s] = true;
+    while (!stack.empty()) {
+      const StateId v = stack.back();
+      stack.pop_back();
+      closure[s].push_back(v);
+      for (const OutEdge& e : l.out(v)) {
+        if (lts::ActionTable::is_tau(e.action) && !in[e.dst]) {
+          in[e.dst] = true;
+          stack.push_back(e.dst);
+        }
+      }
+    }
+  }
+  Lts w;
+  w.add_states(n);
+  if (n > 0) {
+    w.set_initial_state(l.initial_state());
+  }
+  std::vector<ActionId> amap(l.actions().size(), lts::kNoState);
+  for (StateId s = 0; s < n; ++s) {
+    std::vector<std::unordered_set<std::uint64_t>> seen(l.actions().size());
+    // Weak tau moves: s =tau*=> u (including the empty move).
+    for (const StateId u : closure[s]) {
+      if (seen[lts::ActionTable::kTau]
+              .insert(static_cast<std::uint64_t>(u))
+              .second) {
+        w.add_transition(s, lts::ActionTable::kTau, u);
+      }
+    }
+    // Weak visible moves: s =tau*=> s' -a-> t =tau*=> u.
+    for (const StateId sp : closure[s]) {
+      for (const OutEdge& e : l.out(sp)) {
+        if (lts::ActionTable::is_tau(e.action)) {
+          continue;
+        }
+        if (amap[e.action] == lts::kNoState) {
+          amap[e.action] = w.actions().intern(l.actions().name(e.action));
+        }
+        for (const StateId u : closure[e.dst]) {
+          if (seen[e.action].insert(static_cast<std::uint64_t>(u)).second) {
+            w.add_transition(s, amap[e.action], u);
+          }
+        }
+      }
+    }
+  }
+  return w;
+}
+
+}  // namespace
+
+Partition weak_partition(const Lts& l) {
+  if (l.num_states() == 0) {
+    return Partition(0);
+  }
+  return strong_partition(saturate(l));
+}
+
+MinimizeResult minimize_weak(const Lts& l) {
+  Partition p = weak_partition(l);
+  Lts q = quotient_lts(l, p, /*skip_inert_tau=*/true);
+  return MinimizeResult{std::move(q), std::move(p)};
+}
+
+MinimizeResult minimize_strong(const Lts& l) {
+  Partition p = strong_partition(l);
+  Lts q = quotient_lts(l, p, /*skip_inert_tau=*/false);
+  return MinimizeResult{std::move(q), std::move(p)};
+}
+
+}  // namespace multival::bisim

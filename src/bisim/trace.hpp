@@ -1,0 +1,29 @@
+// Weak-trace (language) equivalence via tau-closure determinisation —
+// the coarsest useful equivalence in the CADP spectrum, appropriate for
+// pure safety comparisons where branching structure is irrelevant.
+#pragma once
+
+#include <cstddef>
+
+#include "bisim/strong.hpp"
+#include "lts/lts.hpp"
+
+namespace multival::bisim {
+
+struct DeterminizeOptions {
+  /// Subset construction can explode; exceeding this throws.
+  std::size_t max_states = 1u << 20;
+};
+
+/// Deterministic LTS accepting the same weak traces (tau-closed subset
+/// construction).  The result has no tau transitions and at most one
+/// successor per (state, label).
+[[nodiscard]] lts::Lts determinize(const lts::Lts& l,
+                                   const DeterminizeOptions& opts = {});
+
+/// True if @p a and @p b have the same weak traces (observable language).
+/// Weak trace equivalence is strictly coarser than branching bisimilarity.
+[[nodiscard]] bool weak_trace_equivalent(const lts::Lts& a, const lts::Lts& b,
+                                         const DeterminizeOptions& opts = {});
+
+}  // namespace multival::bisim

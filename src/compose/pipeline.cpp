@@ -1,0 +1,125 @@
+#include "compose/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "lts/product.hpp"
+
+namespace multival::compose {
+
+NodePtr leaf(lts::Lts l, std::string name) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kLeaf;
+  node->name = std::move(name);
+  auto holder = std::make_shared<lts::Lts>(std::move(l));
+  node->generator = [holder]() { return *holder; };
+  return node;
+}
+
+NodePtr leaf(std::function<lts::Lts()> gen, std::string name) {
+  if (!gen) {
+    throw std::invalid_argument("compose::leaf: null generator");
+  }
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kLeaf;
+  node->name = std::move(name);
+  node->generator = std::move(gen);
+  return node;
+}
+
+NodePtr compose2(NodePtr a, std::vector<std::string> sync_gates, NodePtr b) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kPar;
+  node->name = "par";
+  node->children = {std::move(a), std::move(b)};
+  node->gates = std::move(sync_gates);
+  return node;
+}
+
+NodePtr hide_gates(std::vector<std::string> gates, NodePtr p) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kHide;
+  node->name = "hide";
+  node->children = {std::move(p)};
+  node->gates = std::move(gates);
+  return node;
+}
+
+NodePtr minimize_here(NodePtr p, bisim::Equivalence e) {
+  auto node = std::make_shared<Node>();
+  node->kind = Node::Kind::kMinimize;
+  node->name = std::string("min:") + bisim::to_string(e);
+  node->children = {std::move(p)};
+  node->equivalence = e;
+  return node;
+}
+
+namespace {
+
+void record(EvalStats* stats, const std::string& what, const lts::Lts& l,
+            std::size_t states_before) {
+  if (stats == nullptr) {
+    return;
+  }
+  stats->peak_states = std::max(stats->peak_states, l.num_states());
+  stats->peak_states = std::max(stats->peak_states, states_before);
+  stats->peak_transitions =
+      std::max(stats->peak_transitions, l.num_transitions());
+  stats->steps.push_back(StepStat{what, states_before, l.num_states()});
+}
+
+lts::Lts eval_node(const Node& n, bool with_min, EvalStats* stats) {
+  switch (n.kind) {
+    case Node::Kind::kLeaf: {
+      lts::Lts l = n.generator();
+      record(stats, "generate " + n.name, l, l.num_states());
+      return l;
+    }
+    case Node::Kind::kPar: {
+      const lts::Lts a = eval_node(*n.children[0], with_min, stats);
+      const lts::Lts b = eval_node(*n.children[1], with_min, stats);
+      lts::Lts p = lts::parallel(a, b, n.gates);
+      record(stats, "compose", p, p.num_states());
+      return p;
+    }
+    case Node::Kind::kHide: {
+      lts::Lts h =
+          lts::hide(eval_node(*n.children[0], with_min, stats), n.gates);
+      record(stats, "hide", h, h.num_states());
+      return h;
+    }
+    case Node::Kind::kMinimize: {
+      lts::Lts inner = eval_node(*n.children[0], with_min, stats);
+      if (!with_min) {
+        return inner;
+      }
+      const std::size_t before = inner.num_states();
+      lts::Lts reduced =
+          bisim::minimize(inner, n.equivalence).quotient;
+      record(stats, n.name, reduced, before);
+      return reduced;
+    }
+  }
+  throw std::logic_error("compose::evaluate: bad node kind");
+}
+
+}  // namespace
+
+lts::Lts evaluate(const NodePtr& root, bool with_minimization,
+                  EvalStats* stats) {
+  if (root == nullptr) {
+    throw std::invalid_argument("compose::evaluate: null root");
+  }
+  return eval_node(*root, with_minimization, stats);
+}
+
+Comparison compare_strategies(const NodePtr& root) {
+  Comparison cmp;
+  const lts::Lts with = evaluate(root, true, &cmp.compositional);
+  const lts::Lts without = evaluate(root, false, &cmp.monolithic);
+  cmp.equivalent =
+      bisim::equivalent(with, without, bisim::Equivalence::kBranching);
+  return cmp;
+}
+
+}  // namespace multival::compose

@@ -1,0 +1,78 @@
+// Compositional verification pipeline (the paper's "refined approaches
+// based on compositional verification": alternate state-space generation
+// and minimisation).
+//
+// A composition expression is a tree of leaves (component LTSs or lazy
+// generators), parallel compositions, hidings and minimisation points.
+// Evaluating it with minimisation enabled implements the compositional
+// strategy; evaluating with minimisation disabled measures the monolithic
+// baseline.  Peak intermediate sizes are recorded so bench exp_f8 can show
+// how the compositional strategy controls state-space explosion.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bisim/equivalence.hpp"
+#include "lts/lts.hpp"
+
+namespace multival::compose {
+
+class Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+class Node {
+ public:
+  enum class Kind { kLeaf, kPar, kHide, kMinimize };
+
+  Kind kind = Kind::kLeaf;
+  std::string name;                                // diagnostic label
+  std::function<lts::Lts()> generator;             // kLeaf
+  std::vector<NodePtr> children;                   // operands
+  std::vector<std::string> gates;                  // kPar sync / kHide set
+  bisim::Equivalence equivalence = bisim::Equivalence::kBranching;  // kMinimize
+};
+
+/// Leaf holding an already-built LTS.
+[[nodiscard]] NodePtr leaf(lts::Lts l, std::string name = "leaf");
+/// Leaf generating its LTS on demand.
+[[nodiscard]] NodePtr leaf(std::function<lts::Lts()> gen,
+                           std::string name = "leaf");
+/// Parallel composition of two subtrees synchronising on @p sync_gates.
+[[nodiscard]] NodePtr compose2(NodePtr a, std::vector<std::string> sync_gates,
+                               NodePtr b);
+/// Hide the gates in @p gates.
+[[nodiscard]] NodePtr hide_gates(std::vector<std::string> gates, NodePtr p);
+/// Minimisation point (a no-op when evaluating monolithically).
+[[nodiscard]] NodePtr minimize_here(
+    NodePtr p, bisim::Equivalence e = bisim::Equivalence::kBranching);
+
+/// One evaluation step's size record.
+struct StepStat {
+  std::string description;
+  std::size_t states_before = 0;
+  std::size_t states_after = 0;  // == before except at minimisation points
+};
+
+struct EvalStats {
+  std::size_t peak_states = 0;
+  std::size_t peak_transitions = 0;
+  std::vector<StepStat> steps;
+};
+
+/// Evaluates the expression.  @p with_minimization toggles the minimisation
+/// points; @p stats (optional) receives size records.
+[[nodiscard]] lts::Lts evaluate(const NodePtr& root, bool with_minimization,
+                                EvalStats* stats = nullptr);
+
+/// Convenience: compositional vs monolithic comparison.
+struct Comparison {
+  EvalStats compositional;
+  EvalStats monolithic;
+  bool equivalent = false;  ///< results branching-bisimilar (sanity check)
+};
+[[nodiscard]] Comparison compare_strategies(const NodePtr& root);
+
+}  // namespace multival::compose

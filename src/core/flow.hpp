@@ -1,0 +1,110 @@
+// The Multival flows, end to end.
+//
+// Functional verification flow (paper section 3):
+//   model (proc/) -> LTS (proc/generator) -> minimisation (bisim/) ->
+//   properties (mc/)                            ... verify()
+//
+// Performance evaluation flow (paper section 4):
+//   (1) locate delays in the functional model and expose START/END gates,
+//   (2) decorate: insert_delays() composes the model with phase-type delay
+//       processes (constraint-oriented), or decorate_with_rates() replaces
+//       gate transitions by Markovian ones directly,
+//   (3) close_model(): hide everything, apply maximal progress, lump,
+//       extract the CTMC,
+//   (4) solve: steady-state / transient probabilities, throughputs,
+//       expected latencies (markov/).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "imc/compose.hpp"
+#include "imc/imc.hpp"
+#include "imc/lump.hpp"
+#include "lts/lts.hpp"
+#include "markov/ctmc.hpp"
+#include "mc/properties.hpp"
+#include "phase/phase_type.hpp"
+
+namespace multival::core {
+
+// ----------------------------------------------------------- verification --
+
+struct ModelStats {
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+};
+
+struct VerificationReport {
+  ModelStats raw;
+  ModelStats minimized;  ///< modulo divergence-preserving branching bisim
+  std::vector<mc::PropertyResult> properties;
+
+  [[nodiscard]] bool all_hold() const;
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Runs the functional-verification flow on @p l: sizes, minimisation,
+/// deadlock/livelock detection, plus any extra named formulas.
+[[nodiscard]] VerificationReport verify(
+    const lts::Lts& l,
+    const std::vector<std::pair<std::string, mc::FormulaPtr>>& extra = {});
+
+// ------------------------------------------------------------ decoration --
+
+/// Direct decoration: every transition whose gate appears in
+/// @p gate_rates becomes a Markovian transition with that rate, labelled
+/// with the original full label (so throughputs can be measured); all other
+/// transitions stay interactive.
+[[nodiscard]] imc::Imc decorate_with_rates(
+    const lts::Lts& l, const std::map<std::string, double>& gate_rates);
+
+/// One constraint-oriented delay: the functional model performs
+/// @p start_gate when the delay begins and @p end_gate when it may end;
+/// the delay process spends @p dist-distributed time in between.
+/// Both gates must be offer-free (plain labels).
+struct DelaySpec {
+  std::string start_gate;
+  std::string end_gate;
+  phase::PhaseType dist;
+};
+
+/// Constraint-oriented decoration (the paper's three-step recipe): composes
+/// @p l with one delay process per spec, synchronising on the START/END
+/// gates and hiding them.
+[[nodiscard]] imc::Imc insert_delays(const lts::Lts& l,
+                                     const std::vector<DelaySpec>& delays);
+
+/// Phase-type variant of decorate_with_rates: every transition whose gate
+/// appears in @p gate_delays is expanded into the Coxian chain of the given
+/// distribution (its final stage labelled with the original full label);
+/// other transitions stay interactive.  This is how fixed-time delays
+/// (Erlang-k fits) are attached to individual actions such as NoC link
+/// hops.  Distributions must start deterministically in phase 0.
+[[nodiscard]] imc::Imc decorate_with_phase_type(
+    const lts::Lts& l, const std::map<std::string, phase::PhaseType>& gate_delays);
+
+// ---------------------------------------------------------------- closure --
+
+struct FlowStats {
+  std::size_t imc_states = 0;
+  std::size_t lumped_states = 0;
+  std::size_t ctmc_states = 0;
+};
+
+struct ClosedModel {
+  markov::Ctmc ctmc;
+  /// ctmc state -> lumped-IMC state.
+  std::vector<imc::StateId> imc_state_of;
+  imc::Imc lumped;
+  FlowStats stats;
+};
+
+/// Hides all remaining visible actions, applies maximal progress, lumps
+/// (branching, unless @p lump is false) and extracts the CTMC.
+[[nodiscard]] ClosedModel close_model(
+    const imc::Imc& m,
+    imc::NondetPolicy policy = imc::NondetPolicy::kReject, bool lump = true);
+
+}  // namespace multival::core

@@ -1,0 +1,38 @@
+// Small text-report helpers shared by the examples and the benchmark
+// harness: aligned tables and number formatting, so every experiment binary
+// prints its rows the same way.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace multival::core {
+
+/// A titled table with aligned columns.
+class Table {
+ public:
+  Table(std::string title, std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting of a double ("3.1416"); "inf" for infinities.
+[[nodiscard]] std::string fmt(double v, int precision = 4);
+
+/// Scientific-ish compact formatting ("1.2e-05").
+[[nodiscard]] std::string fmt_sci(double v, int precision = 2);
+
+/// "x (+/- y)" for simulation estimates.
+[[nodiscard]] std::string fmt_ci(double mean, double half_width,
+                                 int precision = 4);
+
+}  // namespace multival::core

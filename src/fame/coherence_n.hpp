@@ -1,0 +1,29 @@
+// N-node generalisation of the FAME2 coherence model (2 <= N <= 4): the
+// directory tracks one state per node and serialises transactions,
+// invalidating every other sharer (one INV message each) before granting
+// ownership.  The 2-node model in coherence.hpp is kept as the workhorse
+// for the MPI benchmarks; this module scales the *verification* story to
+// the multi-node CC-NUMA configurations FAME2 actually shipped with.
+//
+// Gate conventions match coherence.hpp (RD<i>_<line>, RQS<i>_<line>, ...).
+#pragma once
+
+#include <string>
+
+#include "fame/coherence.hpp"
+#include "lts/lts.hpp"
+#include "proc/process.hpp"
+
+namespace multival::fame {
+
+/// Adds caches 0..n-1 and the n-node directory for one line; entry process
+/// "LineN_<line>".  Returns the entry name.
+[[nodiscard]] std::string add_coherent_line_n(proc::Program& program,
+                                              const std::string& line,
+                                              Protocol protocol, int nodes);
+
+/// Closed verification system: one line, free read/write/flush drivers on
+/// all @p nodes, plus an SWMR observer raising ERR_<line>.
+[[nodiscard]] lts::Lts coherence_system_n_lts(Protocol protocol, int nodes);
+
+}  // namespace multival::fame

@@ -1,0 +1,59 @@
+#include "fame/topology.hpp"
+
+#include <stdexcept>
+
+#include "fame/coherence.hpp"
+
+namespace multival::fame {
+
+const char* to_string(Topology t) {
+  switch (t) {
+    case Topology::kBus:
+      return "bus";
+    case Topology::kRing:
+      return "ring";
+    case Topology::kCrossbar:
+      return "crossbar";
+  }
+  return "?";
+}
+
+std::map<std::string, double> topology_rates(
+    Topology t, const std::vector<std::string>& lines, double base_rate) {
+  if (!(base_rate > 0.0)) {
+    throw std::invalid_argument("topology_rates: base_rate must be > 0");
+  }
+  double request = 0.0;
+  double third_party = 0.0;
+  switch (t) {
+    case Topology::kBus:
+      request = 1.0;
+      third_party = 1.0;
+      break;
+    case Topology::kRing:
+      request = 1.5;
+      third_party = 1.0;
+      break;
+    case Topology::kCrossbar:
+      request = 3.0;
+      third_party = 3.0;
+      break;
+  }
+  std::map<std::string, double> rates;
+  for (const std::string& line : lines) {
+    for (int i = 0; i < 2; ++i) {
+      for (const char* base : {"RQS", "GRS", "RQM", "GRM"}) {
+        rates[line_gate(base, i, line)] = request * base_rate;
+      }
+      for (const char* base : {"INV", "WB", "EV"}) {
+        rates[line_gate(base, i, line)] = third_party * base_rate;
+      }
+      for (const char* base : {"RD", "RDD", "WR", "WRD", "FL", "FLD"}) {
+        rates[line_gate(base, i, line)] = 20.0 * base_rate;
+      }
+    }
+  }
+  return rates;
+}
+
+}  // namespace multival::fame

@@ -1,0 +1,28 @@
+// Interconnect topology models for FAME2: the same coherence protocol runs
+// over different fabrics, which show up as different transaction rates.
+// The paper's claim is that the flow predicts MPI latency across
+// *different topologies*; the three models below order as
+// crossbar (fastest) < ring < bus (slowest, shared medium).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace multival::fame {
+
+enum class Topology { kBus, kRing, kCrossbar };
+
+[[nodiscard]] const char* to_string(Topology t);
+
+/// Rate assignment for the transaction gates of the given lines.
+/// @p base_rate scales everything (1/base_rate = one bus transfer time).
+///  - bus:      every message pays the shared-medium arbitration: rate 1x,
+///  - ring:     requests/grants 1.5x; third-party messages (INV/WB) travel
+///              an extra hop: 1x,
+///  - crossbar: dedicated paths: 3x for everything.
+/// Driver-local operation gates (RD/RDD/WR/WRD) are cache-speed: 20x.
+[[nodiscard]] std::map<std::string, double> topology_rates(
+    Topology t, const std::vector<std::string>& lines, double base_rate = 1.0);
+
+}  // namespace multival::fame

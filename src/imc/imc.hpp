@@ -1,0 +1,84 @@
+// Interactive Markov Chains (Hermanns, LNCS 2428): states with both
+// interactive (labelled, instantaneous) and Markovian (exponential-rate)
+// transitions.  This is the pivot formalism of the Multival performance
+// flow: functional LTSs are lifted to IMCs, composed with phase-type delay
+// processes, closed by hiding + maximal progress, lumped, and finally
+// flattened into a CTMC.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lts/action_table.hpp"
+#include "lts/lts.hpp"
+
+namespace multival::imc {
+
+using StateId = lts::StateId;
+using ActionId = lts::ActionId;
+
+/// An interactive transition (same shape as an LTS edge).
+using InterEdge = lts::OutEdge;
+
+/// A Markovian transition: exponential rate, optional label used for
+/// throughput measurement after CTMC extraction.
+struct MarkEdge {
+  double rate = 0.0;
+  StateId dst = 0;
+  std::string label;  // empty = unlabelled
+};
+
+class Imc {
+ public:
+  Imc() = default;
+
+  StateId add_state();
+  StateId add_states(std::size_t n);
+
+  void add_interactive(StateId src, ActionId a, StateId dst);
+  void add_interactive(StateId src, std::string_view label, StateId dst);
+  void add_markovian(StateId src, double rate, StateId dst,
+                     std::string_view label = {});
+
+  void set_initial_state(StateId s);
+  [[nodiscard]] StateId initial_state() const { return initial_; }
+
+  [[nodiscard]] std::size_t num_states() const { return inter_.size(); }
+  [[nodiscard]] std::size_t num_interactive() const { return n_inter_; }
+  [[nodiscard]] std::size_t num_markovian() const { return n_mark_; }
+
+  [[nodiscard]] std::span<const InterEdge> interactive(StateId s) const;
+  [[nodiscard]] std::span<const MarkEdge> markovian(StateId s) const;
+
+  [[nodiscard]] lts::ActionTable& actions() { return actions_; }
+  [[nodiscard]] const lts::ActionTable& actions() const { return actions_; }
+
+  /// True if @p s has no outgoing tau transition (Markovian delays at
+  /// unstable states are cut by maximal progress).
+  [[nodiscard]] bool is_stable(StateId s) const;
+
+  /// True if @p s has no outgoing interactive transition at all.
+  [[nodiscard]] bool is_markovian_only(StateId s) const;
+
+  /// Lifts an LTS to an IMC (all transitions interactive).
+  [[nodiscard]] static Imc from_lts(const lts::Lts& l);
+
+  /// Projects the interactive part onto an LTS (Markovian transitions are
+  /// dropped); used to reuse LTS analyses.
+  [[nodiscard]] lts::Lts interactive_lts() const;
+
+ private:
+  void check_state(StateId s, const char* what) const;
+
+  lts::ActionTable actions_;
+  std::vector<std::vector<InterEdge>> inter_;
+  std::vector<std::vector<MarkEdge>> mark_;
+  StateId initial_ = 0;
+  std::size_t n_inter_ = 0;
+  std::size_t n_mark_ = 0;
+};
+
+}  // namespace multival::imc

@@ -1,0 +1,119 @@
+#include "imc/imc_io.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "lts/lts.hpp"
+#include "lts/lts_io.hpp"
+
+namespace multival::imc {
+
+namespace {
+
+std::string rate_label(const MarkEdge& e) {
+  std::ostringstream os;
+  if (!e.label.empty()) {
+    os << e.label << "; ";
+  }
+  os << "rate " << e.rate;
+  return os.str();
+}
+
+/// If @p label encodes a Markovian transition, extracts (rate, probe
+/// label) and returns true.
+bool parse_rate_label(std::string_view label, double& rate,
+                      std::string& probe) {
+  std::string_view rest = label;
+  probe.clear();
+  const std::size_t semi = rest.find(';');
+  if (semi != std::string_view::npos) {
+    probe = std::string(rest.substr(0, semi));
+    // Trim trailing spaces of the probe.
+    while (!probe.empty() && probe.back() == ' ') {
+      probe.pop_back();
+    }
+    rest = rest.substr(semi + 1);
+    while (!rest.empty() && rest.front() == ' ') {
+      rest.remove_prefix(1);
+    }
+  }
+  if (!rest.starts_with("rate ")) {
+    return false;
+  }
+  rest.remove_prefix(5);
+  while (!rest.empty() && rest.front() == ' ') {
+    rest.remove_prefix(1);
+  }
+  try {
+    std::size_t consumed = 0;
+    rate = std::stod(std::string(rest), &consumed);
+    if (consumed != rest.size() || !(rate > 0.0) || !std::isfinite(rate)) {
+      throw std::runtime_error("imc read_aut: bad rate in \"" +
+                               std::string(label) + '"');
+    }
+  } catch (const std::invalid_argument&) {
+    throw std::runtime_error("imc read_aut: bad rate in \"" +
+                             std::string(label) + '"');
+  }
+  return true;
+}
+
+}  // namespace
+
+void write_aut(std::ostream& os, const Imc& m) {
+  os << "des (" << m.initial_state() << ", "
+     << m.num_interactive() + m.num_markovian() << ", " << m.num_states()
+     << ")\n";
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    for (const InterEdge& e : m.interactive(s)) {
+      const std::string_view label = m.actions().name(e.action);
+      if (label == "i") {
+        os << '(' << s << ", i, " << e.dst << ")\n";
+      } else {
+        os << '(' << s << ", \"" << label << "\", " << e.dst << ")\n";
+      }
+    }
+    for (const MarkEdge& e : m.markovian(s)) {
+      os << '(' << s << ", \"" << rate_label(e) << "\", " << e.dst << ")\n";
+    }
+  }
+}
+
+std::string to_aut(const Imc& m) {
+  std::ostringstream os;
+  write_aut(os, m);
+  return os.str();
+}
+
+Imc read_aut(std::istream& is) {
+  // Reuse the LTS reader, then reinterpret "rate" labels.
+  const lts::Lts l = lts::read_aut(is);
+  Imc m;
+  m.add_states(l.num_states());
+  if (l.num_states() > 0) {
+    m.set_initial_state(l.initial_state());
+  }
+  for (lts::StateId s = 0; s < l.num_states(); ++s) {
+    for (const lts::OutEdge& e : l.out(s)) {
+      const std::string_view label = l.actions().name(e.action);
+      double rate = 0.0;
+      std::string probe;
+      if (!lts::ActionTable::is_tau(e.action) &&
+          parse_rate_label(label, rate, probe)) {
+        m.add_markovian(s, rate, e.dst, probe);
+      } else {
+        m.add_interactive(s, label, e.dst);
+      }
+    }
+  }
+  return m;
+}
+
+Imc from_aut(const std::string& text) {
+  std::istringstream is(text);
+  return read_aut(is);
+}
+
+}  // namespace multival::imc

@@ -1,0 +1,25 @@
+// Textual I/O for IMCs, as an extension of the Aldebaran format (the same
+// convention CADP uses in BCG files): a Markovian transition is written as
+//
+//   (src, "rate 1.5", dst)            unlabelled
+//   (src, "LABEL; rate 1.5", dst)     labelled (throughput probe)
+//
+// and interactive transitions as ordinary labels.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "imc/imc.hpp"
+
+namespace multival::imc {
+
+void write_aut(std::ostream& os, const Imc& m);
+[[nodiscard]] std::string to_aut(const Imc& m);
+
+/// Parses the extended format; ordinary .aut files load as purely
+/// interactive IMCs.
+[[nodiscard]] Imc read_aut(std::istream& is);
+[[nodiscard]] Imc from_aut(const std::string& text);
+
+}  // namespace multival::imc

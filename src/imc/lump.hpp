@@ -1,0 +1,48 @@
+// Stochastic bisimulation minimisation (lumping) of IMCs — the role played
+// by BCG_MIN's stochastic modes in CADP.
+//
+// Strong lumping: two states are equivalent iff they have the same
+// interactive signature {(a, block)} AND the same aggregate Markovian rate
+// into every block.
+//
+// Branching lumping (apply maximal_progress first): tau transitions inside
+// a block are inert, and a state with an inert tau inherits its successor's
+// behaviour — this is what collapses instantaneous internal steps between
+// delays and turns closed IMCs into CTMCs.
+//
+// Rewards: pass an initial partition grouping states by reward value to
+// guarantee that lumping never merges states with different rewards.
+#pragma once
+
+#include "bisim/partition.hpp"
+#include "imc/imc.hpp"
+
+namespace multival::imc {
+
+using bisim::Partition;
+
+/// Coarsest strong-lumping partition refining @p initial.
+[[nodiscard]] Partition lump_strong(const Imc& m, const Partition& initial);
+[[nodiscard]] Partition lump_strong(const Imc& m);
+
+/// Coarsest branching-lumping partition refining @p initial.  The input
+/// should already satisfy maximal progress (unstable states rate-free).
+[[nodiscard]] Partition lump_branching(const Imc& m, const Partition& initial);
+[[nodiscard]] Partition lump_branching(const Imc& m);
+
+/// Quotient IMC under @p p.  Interactive edges are deduplicated (inert tau
+/// dropped when @p branching); Markovian rates are aggregated per target
+/// block from a stable representative of each block.
+[[nodiscard]] Imc quotient_imc(const Imc& m, const Partition& p,
+                               bool branching);
+
+struct LumpResult {
+  Imc quotient;
+  Partition partition;
+};
+
+/// maximal_progress + branching lumping + quotient, the standard reduction
+/// step of the performance flow.
+[[nodiscard]] LumpResult minimize_imc(const Imc& m);
+
+}  // namespace multival::imc

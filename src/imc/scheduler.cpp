@@ -1,0 +1,210 @@
+#include "imc/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace multival::imc {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// One value-iteration sweep for reachability probability.
+/// @p maximise selects the optimisation sense at decision states.
+double sweep_reach(const Imc& m, const std::vector<bool>& target,
+                   std::vector<double>& x, bool maximise) {
+  double delta = 0.0;
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    if (target[s]) {
+      continue;  // fixed at 1
+    }
+    double next = 0.0;
+    const auto inter = m.interactive(s);
+    if (!inter.empty()) {
+      next = maximise ? 0.0 : 1.0;
+      for (const InterEdge& e : inter) {
+        next = maximise ? std::max(next, x[e.dst]) : std::min(next, x[e.dst]);
+      }
+    } else {
+      const auto mark = m.markovian(s);
+      if (mark.empty()) {
+        next = 0.0;  // dead non-target state
+      } else {
+        double exit = 0.0;
+        double acc = 0.0;
+        for (const MarkEdge& e : mark) {
+          exit += e.rate;
+          acc += e.rate * x[e.dst];
+        }
+        next = acc / exit;
+      }
+    }
+    delta = std::max(delta, std::abs(next - x[s]));
+    x[s] = next;
+  }
+  return delta;
+}
+
+std::vector<double> solve_reach(const Imc& m, const std::vector<bool>& target,
+                                bool maximise,
+                                const SchedulerBoundsOptions& opts) {
+  std::vector<double> x(m.num_states(), 0.0);
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    if (target[s]) {
+      x[s] = 1.0;
+    }
+  }
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    if (sweep_reach(m, target, x, maximise) < opts.tolerance) {
+      return x;
+    }
+  }
+  throw std::runtime_error("reachability_bounds: value iteration stalled");
+}
+
+double sweep_time(const Imc& m, std::vector<double>& t, bool maximise) {
+  double delta = 0.0;
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    const auto inter = m.interactive(s);
+    const auto mark = m.markovian(s);
+    if (inter.empty() && mark.empty()) {
+      continue;  // absorbing: fixed at 0
+    }
+    double next = 0.0;
+    if (!inter.empty()) {
+      next = maximise ? 0.0 : kInf;
+      for (const InterEdge& e : inter) {
+        next = maximise ? std::max(next, t[e.dst]) : std::min(next, t[e.dst]);
+      }
+    } else {
+      double exit = 0.0;
+      double acc = 0.0;
+      for (const MarkEdge& e : mark) {
+        exit += e.rate;
+        acc += e.rate * t[e.dst];
+      }
+      next = (1.0 + acc) / exit;
+    }
+    delta = std::max(delta, std::abs(next - t[s]));
+    t[s] = next;
+  }
+  return delta;
+}
+
+double solve_time(const Imc& m, bool maximise,
+                  const SchedulerBoundsOptions& opts) {
+  std::vector<double> t(m.num_states(), 0.0);
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    if (sweep_time(m, t, maximise) < opts.tolerance) {
+      return t[m.initial_state()];
+    }
+  }
+  throw std::runtime_error("absorption_time_bounds: value iteration stalled");
+}
+
+}  // namespace
+
+Bounds reachability_bounds(const Imc& m, const std::vector<bool>& target,
+                           const SchedulerBoundsOptions& opts) {
+  if (target.size() != m.num_states()) {
+    throw std::invalid_argument("reachability_bounds: size mismatch");
+  }
+  if (m.num_states() == 0) {
+    return Bounds{0.0, 0.0};
+  }
+  Bounds b;
+  b.min = solve_reach(m, target, /*maximise=*/false, opts)[m.initial_state()];
+  b.max = solve_reach(m, target, /*maximise=*/true, opts)[m.initial_state()];
+  return b;
+}
+
+Scheduler extract_time_scheduler(const Imc& m, bool maximise,
+                                 const SchedulerBoundsOptions& opts) {
+  Scheduler sched(m.num_states(), 0);
+  if (m.num_states() == 0) {
+    return sched;
+  }
+  // Re-run value iteration to a fixpoint, then take the arg-optimum.
+  std::vector<double> t(m.num_states(), 0.0);
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    if (sweep_time(m, t, maximise) < opts.tolerance) {
+      break;
+    }
+    if (iter + 1 == opts.max_iterations) {
+      throw std::runtime_error("extract_time_scheduler: stalled");
+    }
+  }
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    const auto inter = m.interactive(s);
+    if (inter.empty()) {
+      continue;
+    }
+    std::size_t best = 0;
+    for (std::size_t k = 1; k < inter.size(); ++k) {
+      const bool better = maximise ? t[inter[k].dst] > t[inter[best].dst]
+                                   : t[inter[k].dst] < t[inter[best].dst];
+      if (better) {
+        best = k;
+      }
+    }
+    sched[s] = best;
+  }
+  return sched;
+}
+
+Imc apply_scheduler(const Imc& m, const Scheduler& sched) {
+  if (sched.size() != m.num_states()) {
+    throw std::invalid_argument("apply_scheduler: size mismatch");
+  }
+  Imc out;
+  out.add_states(m.num_states());
+  if (m.num_states() > 0) {
+    out.set_initial_state(m.initial_state());
+  }
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    const auto inter = m.interactive(s);
+    if (!inter.empty()) {
+      if (sched[s] >= inter.size()) {
+        throw std::invalid_argument(
+            "apply_scheduler: choice index out of range at state " +
+            std::to_string(s));
+      }
+      const InterEdge& e = inter[sched[s]];
+      out.add_interactive(s, m.actions().name(e.action), e.dst);
+    }
+    for (const MarkEdge& e : m.markovian(s)) {
+      out.add_markovian(s, e.rate, e.dst, e.label);
+    }
+  }
+  return out;
+}
+
+Bounds absorption_time_bounds(const Imc& m,
+                              const SchedulerBoundsOptions& opts) {
+  if (m.num_states() == 0) {
+    return Bounds{0.0, 0.0};
+  }
+  std::vector<bool> absorbing(m.num_states(), false);
+  for (StateId s = 0; s < m.num_states(); ++s) {
+    absorbing[s] = m.interactive(s).empty() && m.markovian(s).empty();
+  }
+  const Bounds reach = reachability_bounds(m, absorbing, opts);
+  Bounds b;
+  if (reach.max < 1.0 - 1e-9) {
+    // Even the best scheduler may never absorb: both bounds diverge.
+    b.min = b.max = kInf;
+    return b;
+  }
+  b.min = solve_time(m, /*maximise=*/false, opts);
+  if (reach.min < 1.0 - 1e-9) {
+    // Some scheduler avoids absorption with positive probability.
+    b.max = kInf;
+  } else {
+    b.max = solve_time(m, /*maximise=*/true, opts);
+  }
+  return b;
+}
+
+}  // namespace multival::imc

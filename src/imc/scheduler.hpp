@@ -1,0 +1,57 @@
+// Scheduler bounds for nondeterministic IMCs.
+//
+// The paper's conclusion names "new algorithms to handle nondeterminism
+// (currently not accepted by the Markov solvers of CADP)" as an open work
+// item.  This module implements the natural baseline: interpret a closed
+// IMC with residual interactive nondeterminism as a continuous-time Markov
+// decision process (vanishing states are decision states) and compute, over
+// all memoryless schedulers,
+//   - min / max probability of eventually reaching a target set, and
+//   - min / max expected time to absorption,
+// by value iteration.  A uniformly-randomising scheduler (the kUniform
+// policy of to_ctmc) always lies between the two bounds.
+#pragma once
+
+#include <vector>
+
+#include "imc/imc.hpp"
+
+namespace multival::imc {
+
+struct SchedulerBoundsOptions {
+  double tolerance = 1e-10;
+  std::size_t max_iterations = 200000;
+};
+
+struct Bounds {
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Min/max probability, over memoryless schedulers, of eventually reaching
+/// a state in @p target (indexed by IMC state id) from the initial state.
+[[nodiscard]] Bounds reachability_bounds(
+    const Imc& m, const std::vector<bool>& target,
+    const SchedulerBoundsOptions& opts = {});
+
+/// Min/max expected time to reach a state with no outgoing transition at
+/// all (absorbing).  Requires the target to be reached with probability 1
+/// under every scheduler; returns +infinity bounds otherwise.
+[[nodiscard]] Bounds absorption_time_bounds(
+    const Imc& m, const SchedulerBoundsOptions& opts = {});
+
+/// A memoryless scheduler: for every state with interactive transitions,
+/// the index of the chosen transition (0 for other states).
+using Scheduler = std::vector<std::size_t>;
+
+/// Extracts the optimal memoryless scheduler for expected absorption time
+/// (@p maximise false = time-optimal, true = worst case).  Meaningful only
+/// when the corresponding bound is finite.
+[[nodiscard]] Scheduler extract_time_scheduler(
+    const Imc& m, bool maximise, const SchedulerBoundsOptions& opts = {});
+
+/// Resolves every interactive choice according to @p sched, yielding a
+/// deterministic IMC (at most one interactive transition per state).
+[[nodiscard]] Imc apply_scheduler(const Imc& m, const Scheduler& sched);
+
+}  // namespace multival::imc

@@ -1,0 +1,52 @@
+#include "lts/action_table.hpp"
+
+#include <stdexcept>
+
+namespace multival::lts {
+
+ActionTable::ActionTable() {
+  [[maybe_unused]] const ActionId tau = intern("i");
+  [[maybe_unused]] const ActionId exit = intern("exit");
+}
+
+ActionId ActionTable::intern(std::string_view name) {
+  if (name.empty()) {
+    throw std::invalid_argument("ActionTable::intern: empty label");
+  }
+  const auto it = ids_.find(std::string(name));
+  if (it != ids_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<ActionId>(names_.size());
+  names_.emplace_back(name);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<ActionId> ActionTable::find(std::string_view name) const {
+  const auto it = ids_.find(std::string(name));
+  if (it == ids_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+std::string_view ActionTable::name(ActionId id) const {
+  if (id >= names_.size()) {
+    throw std::out_of_range("ActionTable::name: unknown action id");
+  }
+  return names_[id];
+}
+
+std::vector<std::string> ActionTable::visible_labels() const {
+  std::vector<std::string> out;
+  out.reserve(names_.size());
+  for (ActionId id = 0; id < names_.size(); ++id) {
+    if (!is_tau(id)) {
+      out.push_back(names_[id]);
+    }
+  }
+  return out;
+}
+
+}  // namespace multival::lts

@@ -1,0 +1,54 @@
+// Interned table of action labels shared by the states of one LTS.
+//
+// Labels follow the CADP/Aldebaran conventions used throughout the Multival
+// flow: the internal (invisible) action is spelled "i" and always has id 0;
+// the successful-termination action (LOTOS "delta") is spelled "exit" and
+// always has id 1.  Visible labels are arbitrary non-empty strings, typically
+// of the form "GATE !v1 !v2" for value-passing gates.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace multival::lts {
+
+using ActionId = std::uint32_t;
+
+class ActionTable {
+ public:
+  /// Id of the invisible action "i" (LOTOS tau).
+  static constexpr ActionId kTau = 0;
+  /// Id of the successful-termination action "exit" (LOTOS delta).
+  static constexpr ActionId kExit = 1;
+
+  /// A fresh table always contains "i" and "exit".
+  ActionTable();
+
+  /// Returns the id of @p name, interning it if not yet present.
+  ActionId intern(std::string_view name);
+
+  /// Returns the id of @p name if already interned.
+  [[nodiscard]] std::optional<ActionId> find(std::string_view name) const;
+
+  /// Returns the label text of @p id. Precondition: id < size().
+  [[nodiscard]] std::string_view name(ActionId id) const;
+
+  /// Number of distinct labels (including "i" and "exit").
+  [[nodiscard]] std::size_t size() const { return names_.size(); }
+
+  [[nodiscard]] static bool is_tau(ActionId id) { return id == kTau; }
+  [[nodiscard]] static bool is_exit(ActionId id) { return id == kExit; }
+
+  /// All visible labels (everything but "i"), in id order.
+  [[nodiscard]] std::vector<std::string> visible_labels() const;
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, ActionId> ids_;
+};
+
+}  // namespace multival::lts

@@ -1,0 +1,57 @@
+// Basic graph analyses over LTSs: reachability trimming, deadlock and
+// livelock (tau-cycle) detection, strongly connected components.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "lts/lts.hpp"
+
+namespace multival::lts {
+
+/// Result of restricting an LTS to its reachable part.
+struct TrimResult {
+  Lts lts;
+  /// old state id -> new state id, or kNoState if unreachable.
+  std::vector<StateId> old_to_new;
+  std::size_t removed_states = 0;
+};
+
+/// Returns the sub-LTS reachable from the initial state.
+[[nodiscard]] TrimResult trim(const Lts& l);
+
+/// States reachable from the initial state (bitmap indexed by state id).
+[[nodiscard]] std::vector<bool> reachable_states(const Lts& l);
+
+/// All deadlock states (no outgoing transition) reachable from the initial
+/// state.
+[[nodiscard]] std::vector<StateId> deadlock_states(const Lts& l);
+
+/// Strongly connected components of the subgraph whose edges satisfy
+/// @p edge_filter.  Returns the component id of each state; component ids are
+/// in reverse topological order (a component only reaches components with
+/// smaller or equal... strictly: Tarjan assigns ids such that every edge goes
+/// from a higher id to a lower-or-equal id).
+struct SccResult {
+  std::vector<StateId> component_of;  // state -> component id
+  std::size_t num_components = 0;
+};
+
+[[nodiscard]] SccResult strongly_connected_components(
+    const Lts& l, const std::function<bool(const OutEdge&)>& edge_filter);
+
+/// SCCs over all transitions.
+[[nodiscard]] SccResult strongly_connected_components(const Lts& l);
+
+/// True if some reachable state lies on a cycle of invisible ("i")
+/// transitions — a potential livelock / divergence.
+[[nodiscard]] bool has_tau_cycle(const Lts& l);
+
+/// All reachable states lying on a tau cycle.
+[[nodiscard]] std::vector<StateId> divergent_states(const Lts& l);
+
+/// Sorted, deduplicated list of action ids actually used by transitions.
+[[nodiscard]] std::vector<ActionId> used_actions(const Lts& l);
+
+}  // namespace multival::lts

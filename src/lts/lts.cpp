@@ -1,0 +1,70 @@
+#include "lts/lts.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace multival::lts {
+
+StateId Lts::add_state() {
+  out_.emplace_back();
+  return static_cast<StateId>(out_.size() - 1);
+}
+
+StateId Lts::add_states(std::size_t n) {
+  const auto first = static_cast<StateId>(out_.size());
+  out_.resize(out_.size() + n);
+  return first;
+}
+
+void Lts::check_state(StateId s, const char* what) const {
+  if (s >= out_.size()) {
+    throw std::out_of_range(std::string("Lts: unknown state in ") + what);
+  }
+}
+
+void Lts::add_transition(StateId src, ActionId action, StateId dst) {
+  check_state(src, "add_transition(src)");
+  check_state(dst, "add_transition(dst)");
+  if (action >= actions_.size()) {
+    throw std::out_of_range("Lts::add_transition: unknown action id");
+  }
+  out_[src].push_back(OutEdge{action, dst});
+  ++num_transitions_;
+}
+
+void Lts::add_transition(StateId src, std::string_view label, StateId dst) {
+  add_transition(src, actions_.intern(label), dst);
+}
+
+void Lts::set_initial_state(StateId s) {
+  check_state(s, "set_initial_state");
+  initial_ = s;
+}
+
+std::span<const OutEdge> Lts::out(StateId s) const {
+  check_state(s, "out");
+  return out_[s];
+}
+
+std::vector<Transition> Lts::all_transitions() const {
+  std::vector<Transition> ts;
+  ts.reserve(num_transitions_);
+  for (StateId s = 0; s < out_.size(); ++s) {
+    for (const OutEdge& e : out_[s]) {
+      ts.push_back(Transition{s, e.action, e.dst});
+    }
+  }
+  return ts;
+}
+
+std::vector<std::vector<OutEdge>> Lts::predecessors() const {
+  std::vector<std::vector<OutEdge>> in(out_.size());
+  for (StateId s = 0; s < out_.size(); ++s) {
+    for (const OutEdge& e : out_[s]) {
+      in[e.dst].push_back(OutEdge{e.action, s});
+    }
+  }
+  return in;
+}
+
+}  // namespace multival::lts

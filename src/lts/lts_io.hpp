@@ -1,0 +1,35 @@
+// Textual I/O for LTSs in the Aldebaran (.aut) format used by CADP:
+//
+//   des (<initial>, <num-transitions>, <num-states>)
+//   (<src>, "<label>", <dst>)
+//   ...
+//
+// Labels containing no special characters may be unquoted; we always write
+// quoted labels except for "i".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lts/lts.hpp"
+
+namespace multival::lts {
+
+/// Writes @p l in .aut format.
+void write_aut(std::ostream& os, const Lts& l);
+
+/// Renders @p l as a .aut string.
+[[nodiscard]] std::string to_aut(const Lts& l);
+
+/// Parses a .aut description.  Throws std::runtime_error on malformed input.
+[[nodiscard]] Lts read_aut(std::istream& is);
+
+/// Parses a .aut string.
+[[nodiscard]] Lts from_aut(const std::string& text);
+
+/// Writes @p l as a Graphviz digraph (tau edges dashed, initial state
+/// double-circled) for visual inspection of small models.
+void write_dot(std::ostream& os, const Lts& l);
+[[nodiscard]] std::string to_dot(const Lts& l);
+
+}  // namespace multival::lts

@@ -1,0 +1,147 @@
+#include "markov/absorption.hpp"
+
+#include "markov/transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace multival::markov {
+
+std::vector<double> expected_time_to_absorption(const Ctmc& c,
+                                                const SolverOptions& opts) {
+  const std::size_t n = c.num_states();
+  const std::vector<double> exits = c.exit_rates();
+
+  std::vector<bool> absorbing(n, false);
+  for (std::size_t s = 0; s < n; ++s) {
+    absorbing[s] = exits[s] <= 0.0;
+  }
+  // Which states reach absorption with probability 1?  A state has finite
+  // expected time iff it cannot reach a non-absorbing BSCC and can reach an
+  // absorbing state.  We compute reach probability and require ~1.
+  const std::vector<double> reach =
+      reachability_probability(c, absorbing, opts);
+
+  std::vector<std::vector<Entry>> out(n);
+  for (const RateTransition& t : c.transitions()) {
+    out[t.src].push_back(Entry{t.dst, t.rate});
+  }
+
+  std::vector<double> time(n, 0.0);
+  std::vector<bool> finite(n, false);
+  for (std::size_t s = 0; s < n; ++s) {
+    finite[s] = absorbing[s] || reach[s] > 1.0 - 1e-9;
+  }
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      if (absorbing[s] || !finite[s]) {
+        continue;
+      }
+      double acc = 1.0;  // one expected sojourn numerator
+      double self = 0.0;
+      for (const Entry& e : out[s]) {
+        if (e.col == s) {
+          self += e.value;
+        } else if (finite[e.col]) {
+          acc += e.value * time[e.col];
+        }
+      }
+      const double denom = exits[s] - self;
+      if (denom <= 0.0) {
+        throw SolverFailure(
+            "expected_time_to_absorption: self-loop-only state marked "
+            "finite");
+      }
+      const double next = acc / denom;
+      delta = std::max(delta, std::abs(next - time[s]));
+      time[s] = next;
+    }
+    if (delta < opts.tolerance) {
+      break;
+    }
+    if (iter + 1 == opts.max_iterations) {
+      throw SolverFailure("expected_time_to_absorption: did not converge");
+    }
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    if (!finite[s]) {
+      time[s] = kInfiniteTime;
+    }
+  }
+  return time;
+}
+
+std::vector<double> mean_first_passage_time(const Ctmc& c,
+                                            const std::vector<bool>& target,
+                                            const SolverOptions& opts) {
+  const std::size_t n = c.num_states();
+  if (target.size() != n) {
+    throw std::invalid_argument("mean_first_passage_time: size mismatch");
+  }
+  // Copy the chain with target states made absorbing.
+  Ctmc cut;
+  cut.add_states(n);
+  for (const RateTransition& t : c.transitions()) {
+    if (!target[t.src]) {
+      cut.add_transition(t.src, t.dst, t.rate, t.label);
+    }
+  }
+  return expected_time_to_absorption(cut, opts);
+}
+
+double absorption_probability_by(const Ctmc& c, double t, double epsilon) {
+  std::vector<bool> absorbing(c.num_states(), false);
+  for (MState s = 0; s < c.num_states(); ++s) {
+    absorbing[s] = c.is_absorbing(s);
+  }
+  return transient_probability(c, absorbing, t, epsilon);
+}
+
+double absorption_time_quantile(const Ctmc& c, double q, double max_horizon) {
+  if (!(q > 0.0) || !(q < 1.0)) {
+    throw std::invalid_argument(
+        "absorption_time_quantile: q must be in (0, 1)");
+  }
+  // Bracket the quantile by doubling, then bisect.
+  double lo = 0.0;
+  double hi = std::max(1e-6, expected_absorption_time_from_initial(c));
+  if (std::isinf(hi)) {
+    throw SolverFailure(
+        "absorption_time_quantile: absorption is not almost sure");
+  }
+  while (absorption_probability_by(c, hi) < q) {
+    hi *= 2.0;
+    if (hi > max_horizon) {
+      throw SolverFailure(
+          "absorption_time_quantile: quantile beyond max horizon");
+    }
+  }
+  for (int iter = 0; iter < 60 && (hi - lo) > 1e-9 * hi; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (absorption_probability_by(c, mid) < q) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+double expected_absorption_time_from_initial(const Ctmc& c,
+                                             const SolverOptions& opts) {
+  const std::vector<double> time = expected_time_to_absorption(c, opts);
+  const std::vector<double> pi0 = c.initial_distribution();
+  double acc = 0.0;
+  for (std::size_t s = 0; s < time.size(); ++s) {
+    if (pi0[s] > 0.0) {
+      if (std::isinf(time[s])) {
+        return kInfiniteTime;
+      }
+      acc += pi0[s] * time[s];
+    }
+  }
+  return acc;
+}
+
+}  // namespace multival::markov

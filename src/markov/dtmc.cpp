@@ -1,0 +1,96 @@
+#include "markov/dtmc.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace multival::markov {
+
+Dtmc::Dtmc(SparseMatrix p, std::vector<double> initial)
+    : p_(std::move(p)), initial_(std::move(initial)) {
+  if (p_.num_rows() != p_.num_cols()) {
+    throw std::invalid_argument("Dtmc: matrix must be square");
+  }
+  if (initial_.size() != p_.num_rows()) {
+    throw std::invalid_argument("Dtmc: initial distribution size mismatch");
+  }
+  std::vector<Triplet> fixups;
+  for (std::size_t r = 0; r < p_.num_rows(); ++r) {
+    double sum = 0.0;
+    for (const Entry& e : p_.row(r)) {
+      if (e.value < -1e-12) {
+        throw std::invalid_argument("Dtmc: negative probability");
+      }
+      sum += e.value;
+    }
+    if (p_.row(r).empty()) {
+      fixups.push_back(Triplet{static_cast<std::uint32_t>(r),
+                               static_cast<std::uint32_t>(r), 1.0});
+    } else if (std::abs(sum - 1.0) > 1e-9) {
+      throw std::invalid_argument("Dtmc: row " + std::to_string(r) +
+                                  " sums to " + std::to_string(sum));
+    }
+  }
+  if (!fixups.empty()) {
+    for (std::size_t r = 0; r < p_.num_rows(); ++r) {
+      for (const Entry& e : p_.row(r)) {
+        fixups.push_back(Triplet{static_cast<std::uint32_t>(r), e.col,
+                                 e.value});
+      }
+    }
+    p_ = SparseMatrix::from_triplets(p_.num_rows(), p_.num_cols(),
+                                     std::move(fixups));
+  }
+}
+
+std::vector<double> Dtmc::distribution_after(std::size_t steps) const {
+  std::vector<double> v = initial_;
+  for (std::size_t k = 0; k < steps; ++k) {
+    v = p_.multiply_left(v);
+  }
+  return v;
+}
+
+std::vector<double> Dtmc::stationary(const SolverOptions& opts) const {
+  const std::size_t n = num_states();
+  if (n == 0) {
+    return {};
+  }
+  // Power iteration on the damped kernel (P + I) / 2: the damping removes
+  // periodicity without changing the stationary distribution, so plain
+  // iteration converges geometrically.
+  std::vector<double> v(n, 1.0 / static_cast<double>(n));
+  for (std::size_t k = 0; k < opts.max_iterations; ++k) {
+    std::vector<double> next = p_.multiply_left(v);
+    double delta = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      next[s] = 0.5 * (next[s] + v[s]);
+      delta = std::max(delta, std::abs(next[s] - v[s]));
+    }
+    v = std::move(next);
+    if (delta < opts.tolerance) {
+      break;
+    }
+  }
+  double total = 0.0;
+  for (const double x : v) {
+    total += x;
+  }
+  for (double& x : v) {
+    x /= total;
+  }
+  return v;
+}
+
+Dtmc embedded_dtmc(const Ctmc& c) {
+  const std::vector<double> exits = c.exit_rates();
+  std::vector<Triplet> ts;
+  ts.reserve(c.transitions().size());
+  for (const RateTransition& t : c.transitions()) {
+    ts.push_back(Triplet{t.src, t.dst, t.rate / exits[t.src]});
+  }
+  SparseMatrix p = SparseMatrix::from_triplets(c.num_states(),
+                                               c.num_states(), std::move(ts));
+  return Dtmc(std::move(p), c.initial_distribution());
+}
+
+}  // namespace multival::markov

@@ -1,0 +1,52 @@
+// Discrete-time Markov chains and the embedded jump chain of a CTMC.
+//
+// The embedded chain is the view the equivalence between steady-state
+// formulations rests on: if psi is the stationary distribution of the jump
+// chain and E(s) the CTMC exit rates, then the CTMC stationary distribution
+// is pi(s) ∝ psi(s) / E(s) (sojourn-time weighting).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "markov/ctmc.hpp"
+#include "markov/sparse.hpp"
+#include "markov/steady.hpp"
+
+namespace multival::markov {
+
+/// A DTMC as a row-stochastic sparse matrix plus an initial distribution.
+class Dtmc {
+ public:
+  Dtmc() = default;
+
+  /// @p p must be square and row-stochastic (rows sum to 1 within 1e-9;
+  /// empty rows denote absorbing states and are given a self-loop).
+  Dtmc(SparseMatrix p, std::vector<double> initial);
+
+  [[nodiscard]] std::size_t num_states() const { return p_.num_rows(); }
+  [[nodiscard]] const SparseMatrix& matrix() const { return p_; }
+  [[nodiscard]] const std::vector<double>& initial() const {
+    return initial_;
+  }
+
+  /// Distribution after @p steps.
+  [[nodiscard]] std::vector<double> distribution_after(
+      std::size_t steps) const;
+
+  /// Stationary distribution (power iteration with Cesàro averaging, which
+  /// also converges for periodic chains).  Requires an irreducible chain
+  /// for a meaningful result.
+  [[nodiscard]] std::vector<double> stationary(
+      const SolverOptions& opts = {}) const;
+
+ private:
+  SparseMatrix p_;
+  std::vector<double> initial_;
+};
+
+/// The embedded jump chain of @p c: P(s,t) = R(s,t) / E(s); absorbing CTMC
+/// states become absorbing DTMC states.
+[[nodiscard]] Dtmc embedded_dtmc(const Ctmc& c);
+
+}  // namespace multival::markov

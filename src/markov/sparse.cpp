@@ -1,0 +1,91 @@
+#include "markov/sparse.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace multival::markov {
+
+SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
+                                         std::vector<Triplet> ts) {
+  for (const Triplet& t : ts) {
+    if (t.row >= rows || t.col >= cols) {
+      throw std::out_of_range("SparseMatrix: triplet out of range");
+    }
+  }
+  std::sort(ts.begin(), ts.end(), [](const Triplet& a, const Triplet& b) {
+    return a.row != b.row ? a.row < b.row : a.col < b.col;
+  });
+  SparseMatrix m;
+  m.cols_ = cols;
+  m.row_ptr_.assign(rows + 1, 0);
+  m.entries_.reserve(ts.size());
+  for (std::size_t i = 0; i < ts.size();) {
+    std::size_t j = i;
+    double sum = 0.0;
+    while (j < ts.size() && ts[j].row == ts[i].row && ts[j].col == ts[i].col) {
+      sum += ts[j].value;
+      ++j;
+    }
+    m.entries_.push_back(Entry{ts[i].col, sum});
+    ++m.row_ptr_[ts[i].row + 1];
+    i = j;
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    m.row_ptr_[r + 1] += m.row_ptr_[r];
+  }
+  return m;
+}
+
+std::span<const Entry> SparseMatrix::row(std::size_t i) const {
+  if (i + 1 >= row_ptr_.size()) {
+    throw std::out_of_range("SparseMatrix::row");
+  }
+  return {entries_.data() + row_ptr_[i], row_ptr_[i + 1] - row_ptr_[i]};
+}
+
+std::vector<double> SparseMatrix::multiply_left(
+    std::span<const double> x) const {
+  if (x.size() != num_rows()) {
+    throw std::invalid_argument("multiply_left: size mismatch");
+  }
+  std::vector<double> y(cols_, 0.0);
+  for (std::size_t r = 0; r < num_rows(); ++r) {
+    const double xr = x[r];
+    if (xr == 0.0) {
+      continue;
+    }
+    for (const Entry& e : row(r)) {
+      y[e.col] += xr * e.value;
+    }
+  }
+  return y;
+}
+
+std::vector<double> SparseMatrix::multiply_right(
+    std::span<const double> x) const {
+  if (x.size() != cols_) {
+    throw std::invalid_argument("multiply_right: size mismatch");
+  }
+  std::vector<double> y(num_rows(), 0.0);
+  for (std::size_t r = 0; r < num_rows(); ++r) {
+    double acc = 0.0;
+    for (const Entry& e : row(r)) {
+      acc += e.value * x[e.col];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+SparseMatrix SparseMatrix::transpose() const {
+  std::vector<Triplet> ts;
+  ts.reserve(entries_.size());
+  for (std::size_t r = 0; r < num_rows(); ++r) {
+    for (const Entry& e : row(r)) {
+      ts.push_back(Triplet{e.col, static_cast<std::uint32_t>(r), e.value});
+    }
+  }
+  return from_triplets(cols_, num_rows(), std::move(ts));
+}
+
+}  // namespace multival::markov

@@ -1,0 +1,53 @@
+// Minimal sparse-matrix support for the Markov solvers (CSR, double).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace multival::markov {
+
+struct Triplet {
+  std::uint32_t row = 0;
+  std::uint32_t col = 0;
+  double value = 0.0;
+};
+
+/// One stored entry of a CSR row.
+struct Entry {
+  std::uint32_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable CSR matrix.  Duplicate (row, col) triplets are summed.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  [[nodiscard]] static SparseMatrix from_triplets(std::size_t rows,
+                                                  std::size_t cols,
+                                                  std::vector<Triplet> ts);
+
+  [[nodiscard]] std::size_t num_rows() const { return row_ptr_.empty() ? 0 : row_ptr_.size() - 1; }
+  [[nodiscard]] std::size_t num_cols() const { return cols_; }
+  [[nodiscard]] std::size_t num_nonzeros() const { return entries_.size(); }
+
+  [[nodiscard]] std::span<const Entry> row(std::size_t i) const;
+
+  /// y = x A (row vector times matrix); x.size() == num_rows().
+  [[nodiscard]] std::vector<double> multiply_left(
+      std::span<const double> x) const;
+
+  /// y = A x; x.size() == num_cols().
+  [[nodiscard]] std::vector<double> multiply_right(
+      std::span<const double> x) const;
+
+  [[nodiscard]] SparseMatrix transpose() const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_ptr_;  // size rows+1
+  std::vector<Entry> entries_;
+};
+
+}  // namespace multival::markov

@@ -1,0 +1,292 @@
+#include "markov/steady.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace multival::markov {
+
+namespace {
+
+/// Iterative Tarjan over an adjacency list.
+std::pair<std::vector<std::uint32_t>, std::size_t> tarjan(
+    const std::vector<std::vector<std::uint32_t>>& adj) {
+  const std::size_t n = adj.size();
+  constexpr std::uint32_t kUnvisited = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> comp(n, kUnvisited);
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> scc_stack;
+  struct Frame {
+    std::uint32_t v;
+    std::size_t edge;
+  };
+  std::vector<Frame> call;
+  std::uint32_t next_index = 0;
+  std::size_t ncomp = 0;
+
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) {
+      continue;
+    }
+    call.push_back(Frame{root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+    while (!call.empty()) {
+      Frame& fr = call.back();
+      const std::uint32_t v = fr.v;
+      bool descended = false;
+      while (fr.edge < adj[v].size()) {
+        const std::uint32_t w = adj[v][fr.edge++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call.push_back(Frame{w, 0});
+          descended = true;
+          break;
+        }
+        if (on_stack[w]) {
+          lowlink[v] = std::min(lowlink[v], index[w]);
+        }
+      }
+      if (descended) {
+        continue;
+      }
+      if (lowlink[v] == index[v]) {
+        std::uint32_t w = kUnvisited;
+        do {
+          w = scc_stack.back();
+          scc_stack.pop_back();
+          on_stack[w] = false;
+          comp[w] = static_cast<std::uint32_t>(ncomp);
+        } while (w != v);
+        ++ncomp;
+      }
+      call.pop_back();
+      if (!call.empty()) {
+        lowlink[call.back().v] = std::min(lowlink[call.back().v], lowlink[v]);
+      }
+    }
+  }
+  return {std::move(comp), ncomp};
+}
+
+}  // namespace
+
+BsccDecomposition bscc_decomposition(const Ctmc& c) {
+  const std::size_t n = c.num_states();
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (const RateTransition& t : c.transitions()) {
+    adj[t.src].push_back(t.dst);
+  }
+  auto [comp, ncomp] = tarjan(adj);
+  std::vector<bool> bottom(ncomp, true);
+  for (const RateTransition& t : c.transitions()) {
+    if (comp[t.src] != comp[t.dst]) {
+      bottom[comp[t.src]] = false;
+    }
+  }
+  return BsccDecomposition{std::move(comp), ncomp, std::move(bottom)};
+}
+
+namespace {
+
+/// Gauss–Seidel solve of the local steady state of an irreducible sub-chain
+/// given by @p members (global state ids).
+std::vector<double> solve_bscc(const Ctmc& c,
+                               const std::vector<std::uint32_t>& members,
+                               const SolverOptions& opts) {
+  const std::size_t m = members.size();
+  if (m == 1) {
+    return {1.0};
+  }
+  std::vector<std::uint32_t> local(c.num_states(),
+                                   static_cast<std::uint32_t>(-1));
+  for (std::size_t i = 0; i < m; ++i) {
+    local[members[i]] = static_cast<std::uint32_t>(i);
+  }
+  // Incoming edges within the BSCC and local exit rates.
+  std::vector<std::vector<Entry>> in(m);
+  std::vector<double> exit(m, 0.0);
+  for (const RateTransition& t : c.transitions()) {
+    const std::uint32_t ls = local[t.src];
+    const std::uint32_t ld = local[t.dst];
+    if (ls == static_cast<std::uint32_t>(-1)) {
+      continue;
+    }
+    // BSCC: all successors stay inside.
+    exit[ls] += t.rate;
+    in[ld].push_back(Entry{ls, t.rate});
+  }
+  std::vector<double> pi(m, 1.0 / static_cast<double>(m));
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      double inflow = 0.0;
+      for (const Entry& e : in[i]) {
+        if (e.col != i) {
+          inflow += pi[e.col] * e.value;
+        }
+      }
+      // Self-loops contribute equally to inflow and exit; drop them.
+      double self_rate = 0.0;
+      for (const Entry& e : in[i]) {
+        if (e.col == i) {
+          self_rate += e.value;
+        }
+      }
+      const double denom = exit[i] - self_rate;
+      if (denom <= 0.0) {
+        throw SolverFailure("steady_state: zero exit rate inside a BSCC");
+      }
+      const double next = inflow / denom;
+      delta = std::max(delta, std::abs(next - pi[i]));
+      pi[i] = next;
+    }
+    // Normalise.
+    double sum = 0.0;
+    for (const double p : pi) {
+      sum += p;
+    }
+    if (sum <= 0.0) {
+      throw SolverFailure("steady_state: distribution collapsed to zero");
+    }
+    for (double& p : pi) {
+      p /= sum;
+    }
+    if (delta < opts.tolerance * sum) {
+      return pi;
+    }
+  }
+  throw SolverFailure("steady_state: Gauss-Seidel did not converge");
+}
+
+}  // namespace
+
+std::vector<double> reachability_probability(const Ctmc& c,
+                                             const std::vector<bool>& target,
+                                             const SolverOptions& opts) {
+  const std::size_t n = c.num_states();
+  if (target.size() != n) {
+    throw std::invalid_argument("reachability_probability: size mismatch");
+  }
+  // Backward reachability: which states can reach the target at all.
+  std::vector<std::vector<std::uint32_t>> pred(n);
+  for (const RateTransition& t : c.transitions()) {
+    pred[t.dst].push_back(t.src);
+  }
+  std::vector<bool> can(n, false);
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (target[s]) {
+      can[s] = true;
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const std::uint32_t s = stack.back();
+    stack.pop_back();
+    for (const std::uint32_t p : pred[s]) {
+      if (!can[p]) {
+        can[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+
+  const std::vector<double> exits = c.exit_rates();
+  // Outgoing adjacency for the Gauss–Seidel sweeps.
+  std::vector<std::vector<Entry>> out(n);
+  for (const RateTransition& t : c.transitions()) {
+    out[t.src].push_back(Entry{t.dst, t.rate});
+  }
+
+  std::vector<double> x(n, 0.0);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (target[s]) {
+      x[s] = 1.0;
+    }
+  }
+  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    double delta = 0.0;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (target[s] || !can[s] || exits[s] <= 0.0) {
+        continue;
+      }
+      double acc = 0.0;
+      double self = 0.0;
+      for (const Entry& e : out[s]) {
+        if (e.col == s) {
+          self += e.value;
+        } else {
+          acc += e.value * x[e.col];
+        }
+      }
+      const double denom = exits[s] - self;
+      const double next = denom > 0.0 ? acc / denom : 0.0;
+      delta = std::max(delta, std::abs(next - x[s]));
+      x[s] = next;
+    }
+    if (delta < opts.tolerance) {
+      return x;
+    }
+  }
+  throw SolverFailure("reachability_probability: did not converge");
+}
+
+std::vector<double> steady_state(const Ctmc& c, const SolverOptions& opts) {
+  const std::size_t n = c.num_states();
+  if (n == 0) {
+    return {};
+  }
+  const BsccDecomposition d = bscc_decomposition(c);
+  const std::vector<double> pi0 = c.initial_distribution();
+
+  // Group states by component.
+  std::vector<std::vector<std::uint32_t>> members(d.num_components);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    members[d.component_of[s]].push_back(s);
+  }
+
+  std::vector<double> pi(n, 0.0);
+  for (std::uint32_t comp = 0; comp < d.num_components; ++comp) {
+    if (!d.is_bottom[comp]) {
+      continue;
+    }
+    // Weight = probability of reaching this BSCC.
+    std::vector<bool> target(n, false);
+    for (const std::uint32_t s : members[comp]) {
+      target[s] = true;
+    }
+    double weight = 0.0;
+    bool need_solve = false;
+    for (std::uint32_t s = 0; s < n; ++s) {
+      if (pi0[s] > 0.0 && !target[s]) {
+        need_solve = true;
+      }
+    }
+    if (need_solve) {
+      const std::vector<double> h = reachability_probability(c, target, opts);
+      for (std::uint32_t s = 0; s < n; ++s) {
+        weight += pi0[s] * h[s];
+      }
+    } else {
+      for (const std::uint32_t s : members[comp]) {
+        weight += pi0[s];
+      }
+    }
+    if (weight <= 0.0) {
+      continue;
+    }
+    const std::vector<double> local = solve_bscc(c, members[comp], opts);
+    for (std::size_t i = 0; i < members[comp].size(); ++i) {
+      pi[members[comp][i]] += weight * local[i];
+    }
+  }
+  return pi;
+}
+
+}  // namespace multival::markov

@@ -1,0 +1,124 @@
+#include "markov/transient.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace multival::markov {
+
+PoissonWeights poisson_weights(double lambda_t, double epsilon) {
+  if (lambda_t < 0.0 || !std::isfinite(lambda_t)) {
+    throw std::invalid_argument("poisson_weights: bad lambda*t");
+  }
+  PoissonWeights out;
+  if (lambda_t == 0.0) {
+    out.weights = {1.0};
+    return out;
+  }
+  // Work outwards from the mode with the ratio recurrence
+  // p(k+1)/p(k) = lambda_t/(k+1), in scaled arithmetic (mode weight = 1),
+  // then normalise.  This is the simplified Fox–Glynn scheme: the scaled
+  // tail weights fall below any epsilon quickly, and the final division by
+  // the scaled total compensates the truncation.
+  const auto mode = static_cast<long long>(std::floor(lambda_t));
+  const double cutoff = epsilon * 1e-4;  // relative to the mode weight
+
+  std::vector<double> down;  // weights for k = mode-1, mode-2, ...
+  double w = 1.0;
+  for (long long k = mode; k > 0; --k) {
+    w *= static_cast<double>(k) / lambda_t;
+    if (w < cutoff) {
+      break;
+    }
+    down.push_back(w);
+  }
+  std::vector<double> up;  // weights for k = mode+1, ...
+  w = 1.0;
+  for (long long k = mode + 1;; ++k) {
+    w *= lambda_t / static_cast<double>(k);
+    if (w < cutoff) {
+      break;
+    }
+    up.push_back(w);
+  }
+
+  out.left = static_cast<std::size_t>(mode - static_cast<long long>(down.size()));
+  out.weights.reserve(down.size() + 1 + up.size());
+  for (auto it = down.rbegin(); it != down.rend(); ++it) {
+    out.weights.push_back(*it);
+  }
+  out.weights.push_back(1.0);
+  for (const double u : up) {
+    out.weights.push_back(u);
+  }
+  double total = 0.0;
+  for (const double x : out.weights) {
+    total += x;
+  }
+  for (double& x : out.weights) {
+    x /= total;
+  }
+  return out;
+}
+
+std::vector<double> transient_distribution(const Ctmc& c, double t,
+                                           double epsilon) {
+  if (t < 0.0) {
+    throw std::invalid_argument("transient_distribution: negative time");
+  }
+  std::vector<double> v = c.initial_distribution();
+  if (t == 0.0 || c.num_states() == 0) {
+    return v;
+  }
+  double lambda = 0.0;
+  const SparseMatrix p = c.uniformized_dtmc(lambda);
+  const PoissonWeights pw = poisson_weights(lambda * t, epsilon);
+
+  std::vector<double> acc(c.num_states(), 0.0);
+  const std::size_t last = pw.left + pw.weights.size() - 1;
+  for (std::size_t k = 0; k <= last; ++k) {
+    if (k >= pw.left) {
+      const double w = pw.weights[k - pw.left];
+      for (std::size_t s = 0; s < acc.size(); ++s) {
+        acc[s] += w * v[s];
+      }
+    }
+    if (k < last) {
+      v = p.multiply_left(v);
+    }
+  }
+  return acc;
+}
+
+double transient_probability(const Ctmc& c, const std::vector<bool>& set,
+                             double t, double epsilon) {
+  if (set.size() != c.num_states()) {
+    throw std::invalid_argument("transient_probability: size mismatch");
+  }
+  const std::vector<double> pi = transient_distribution(c, t, epsilon);
+  double acc = 0.0;
+  for (std::size_t s = 0; s < pi.size(); ++s) {
+    if (set[s]) {
+      acc += pi[s];
+    }
+  }
+  return acc;
+}
+
+double bounded_reachability(const Ctmc& c, const std::vector<bool>& target,
+                            double t, double epsilon) {
+  if (target.size() != c.num_states()) {
+    throw std::invalid_argument("bounded_reachability: size mismatch");
+  }
+  // Make the target absorbing: once reached, stay.
+  Ctmc cut;
+  cut.add_states(c.num_states());
+  for (const RateTransition& tr : c.transitions()) {
+    if (!target[tr.src]) {
+      cut.add_transition(tr.src, tr.dst, tr.rate, tr.label);
+    }
+  }
+  cut.set_initial_distribution(c.initial_distribution());
+  return transient_probability(cut, target, t, epsilon);
+}
+
+}  // namespace multival::markov

@@ -1,0 +1,155 @@
+#include "mc/diagnostic.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "lts/analysis.hpp"
+
+namespace multival::mc {
+
+std::string Trace::to_string() const {
+  if (!found) {
+    return "<none>";
+  }
+  if (labels.empty()) {
+    return "<initial state>";
+  }
+  std::string out;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) {
+      out += " -> ";
+    }
+    out += labels[i];
+  }
+  return out;
+}
+
+namespace {
+
+using lts::Lts;
+using lts::StateId;
+
+/// BFS parent links: for each reached state, the (predecessor, action).
+struct Bfs {
+  std::vector<StateId> parent;
+  std::vector<lts::ActionId> via;
+  std::vector<bool> seen;
+};
+
+Bfs bfs_from_initial(const Lts& l) {
+  Bfs b;
+  b.parent.assign(l.num_states(), lts::kNoState);
+  b.via.assign(l.num_states(), 0);
+  b.seen.assign(l.num_states(), false);
+  if (l.num_states() == 0) {
+    return b;
+  }
+  std::deque<StateId> queue{l.initial_state()};
+  b.seen[l.initial_state()] = true;
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (const lts::OutEdge& e : l.out(s)) {
+      if (!b.seen[e.dst]) {
+        b.seen[e.dst] = true;
+        b.parent[e.dst] = s;
+        b.via[e.dst] = e.action;
+        queue.push_back(e.dst);
+      }
+    }
+  }
+  return b;
+}
+
+Trace unwind(const Lts& l, const Bfs& b, StateId target) {
+  Trace t;
+  t.found = true;
+  t.final_state = target;
+  StateId s = target;
+  while (s != l.initial_state()) {
+    t.labels.emplace_back(l.actions().name(b.via[s]));
+    s = b.parent[s];
+  }
+  std::reverse(t.labels.begin(), t.labels.end());
+  return t;
+}
+
+}  // namespace
+
+Trace shortest_trace_to(const Lts& l, const StateSet& targets) {
+  if (l.num_states() == 0) {
+    return {};
+  }
+  // BFS layer order guarantees the first target found is at minimal depth;
+  // scan in BFS order by re-running the search with an early exit.
+  Bfs b;
+  b.parent.assign(l.num_states(), lts::kNoState);
+  b.via.assign(l.num_states(), 0);
+  b.seen.assign(l.num_states(), false);
+  std::deque<StateId> queue{l.initial_state()};
+  b.seen[l.initial_state()] = true;
+  if (targets.contains(l.initial_state())) {
+    Trace t;
+    t.found = true;
+    t.final_state = l.initial_state();
+    return t;
+  }
+  while (!queue.empty()) {
+    const StateId s = queue.front();
+    queue.pop_front();
+    for (const lts::OutEdge& e : l.out(s)) {
+      if (b.seen[e.dst]) {
+        continue;
+      }
+      b.seen[e.dst] = true;
+      b.parent[e.dst] = s;
+      b.via[e.dst] = e.action;
+      if (targets.contains(e.dst)) {
+        return unwind(l, b, e.dst);
+      }
+      queue.push_back(e.dst);
+    }
+  }
+  return {};
+}
+
+Trace shortest_trace_to_action(const Lts& l, const ActionPtr& af) {
+  if (l.num_states() == 0 || af == nullptr) {
+    return {};
+  }
+  const Bfs b = bfs_from_initial(l);
+  // Find the matching transition whose source is at minimal depth by BFS
+  // over depth: simplest correct approach — search all reachable matching
+  // transitions, take the one minimising |trace to src| (+1).
+  Trace best;
+  std::size_t best_len = static_cast<std::size_t>(-1);
+  for (StateId s = 0; s < l.num_states(); ++s) {
+    if (!b.seen[s]) {
+      continue;
+    }
+    for (const lts::OutEdge& e : l.out(s)) {
+      const std::string_view label = l.actions().name(e.action);
+      if (!af->matches(label, lts::ActionTable::is_tau(e.action))) {
+        continue;
+      }
+      Trace t = unwind(l, b, s);
+      t.labels.emplace_back(label);
+      t.final_state = e.dst;
+      if (t.labels.size() < best_len) {
+        best_len = t.labels.size();
+        best = std::move(t);
+      }
+    }
+  }
+  return best;
+}
+
+Trace deadlock_trace(const lts::Lts& l) {
+  StateSet dead(l.num_states());
+  for (const StateId s : lts::deadlock_states(l)) {
+    dead.insert(s);
+  }
+  return shortest_trace_to(l, dead);
+}
+
+}  // namespace multival::mc

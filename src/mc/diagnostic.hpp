@@ -1,0 +1,38 @@
+// Diagnostic generation: shortest witness/counterexample traces, the
+// "example paths" a verification engineer needs when a verdict is FAIL.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lts/lts.hpp"
+#include "mc/evaluator.hpp"
+#include "mc/formula.hpp"
+
+namespace multival::mc {
+
+/// A finite execution: the labels of a path from the initial state.
+struct Trace {
+  bool found = false;
+  std::vector<std::string> labels;
+  lts::StateId final_state = lts::kNoState;
+
+  /// "IN !1 -> i -> OUT !1" (or "<initial state>" for the empty trace,
+  /// "<none>" if not found).
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Shortest path (by transition count) from the initial state to any state
+/// in @p targets.
+[[nodiscard]] Trace shortest_trace_to(const lts::Lts& l,
+                                      const StateSet& targets);
+
+/// Shortest path whose last transition matches @p af — a witness for
+/// can_do(af) / a counterexample for never(af).
+[[nodiscard]] Trace shortest_trace_to_action(const lts::Lts& l,
+                                             const ActionPtr& af);
+
+/// Shortest path to a reachable deadlock state.
+[[nodiscard]] Trace deadlock_trace(const lts::Lts& l);
+
+}  // namespace multival::mc

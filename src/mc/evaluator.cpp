@@ -1,0 +1,203 @@
+#include "mc/evaluator.hpp"
+
+#include <bit>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace multival::mc {
+
+// ---------------------------------------------------------------- StateSet --
+
+std::size_t StateSet::count() const {
+  std::size_t c = 0;
+  for (const auto w : bits_) {
+    c += static_cast<std::size_t>(std::popcount(w));
+  }
+  return c;
+}
+
+std::vector<lts::StateId> StateSet::members() const {
+  std::vector<lts::StateId> out;
+  for (lts::StateId s = 0; s < size_; ++s) {
+    if (contains(s)) {
+      out.push_back(s);
+    }
+  }
+  return out;
+}
+
+StateSet& StateSet::operator&=(const StateSet& o) {
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    bits_[i] &= o.bits_[i];
+  }
+  return *this;
+}
+
+StateSet& StateSet::operator|=(const StateSet& o) {
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    bits_[i] |= o.bits_[i];
+  }
+  return *this;
+}
+
+void StateSet::complement() {
+  for (auto& w : bits_) {
+    w = ~w;
+  }
+  trim();
+}
+
+void StateSet::trim() {
+  const std::size_t used = size_ & 63;
+  if (!bits_.empty() && used != 0) {
+    bits_.back() &= (1ull << used) - 1;
+  }
+}
+
+// --------------------------------------------------------------- evaluator --
+
+namespace {
+
+using lts::ActionId;
+using lts::Lts;
+using lts::StateId;
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Lts& l) : lts_(l) {}
+
+  StateSet eval(const StateFormula& f) {
+    using Kind = StateFormula::Kind;
+    const std::size_t n = lts_.num_states();
+    switch (f.kind()) {
+      case Kind::kTrue: {
+        StateSet s(n);
+        s.fill();
+        return s;
+      }
+      case Kind::kFalse:
+        return StateSet(n);
+      case Kind::kAnd: {
+        StateSet s = eval(*f.lhs());
+        s &= eval(*f.rhs());
+        return s;
+      }
+      case Kind::kOr: {
+        StateSet s = eval(*f.lhs());
+        s |= eval(*f.rhs());
+        return s;
+      }
+      case Kind::kNot: {
+        if (!f.lhs()->free_vars().empty()) {
+          throw std::invalid_argument(
+              "mu-calculus: negation over an open formula: " +
+              f.to_string());
+        }
+        StateSet s = eval(*f.lhs());
+        s.complement();
+        return s;
+      }
+      case Kind::kDiamond:
+        return modal(f, /*diamond=*/true);
+      case Kind::kBox:
+        return modal(f, /*diamond=*/false);
+      case Kind::kMu:
+        return fixpoint(f, /*least=*/true);
+      case Kind::kNu:
+        return fixpoint(f, /*least=*/false);
+      case Kind::kVar: {
+        const auto it = env_.find(f.var());
+        if (it == env_.end()) {
+          throw std::invalid_argument("mu-calculus: unbound variable " +
+                                      f.var());
+        }
+        return it->second;
+      }
+    }
+    throw std::logic_error("evaluate: bad formula kind");
+  }
+
+ private:
+  /// Per-action match mask for an action formula (cached per node pointer).
+  const std::vector<bool>& action_mask(const ActionFormula* af) {
+    auto it = masks_.find(af);
+    if (it != masks_.end()) {
+      return it->second;
+    }
+    std::vector<bool> mask(lts_.actions().size(), false);
+    for (ActionId a = 0; a < lts_.actions().size(); ++a) {
+      mask[a] = af->matches(lts_.actions().name(a),
+                            lts::ActionTable::is_tau(a));
+    }
+    return masks_.emplace(af, std::move(mask)).first->second;
+  }
+
+  StateSet modal(const StateFormula& f, bool diamond) {
+    const StateSet inner = eval(*f.lhs());
+    const auto& mask = action_mask(f.action().get());
+    StateSet out(lts_.num_states());
+    for (StateId s = 0; s < lts_.num_states(); ++s) {
+      bool exists = false;
+      bool all = true;
+      for (const lts::OutEdge& e : lts_.out(s)) {
+        if (!mask[e.action]) {
+          continue;
+        }
+        if (inner.contains(e.dst)) {
+          exists = true;
+        } else {
+          all = false;
+        }
+      }
+      if (diamond ? exists : all) {
+        out.insert(s);
+      }
+    }
+    return out;
+  }
+
+  StateSet fixpoint(const StateFormula& f, bool least) {
+    StateSet current(lts_.num_states());
+    if (!least) {
+      current.fill();
+    }
+    // Naive iteration; converges in at most num_states rounds for the
+    // alternation-free fragment.
+    while (true) {
+      env_[f.var()] = current;
+      StateSet next = eval(*f.lhs());
+      if (next == current) {
+        env_.erase(f.var());
+        return next;
+      }
+      current = std::move(next);
+    }
+  }
+
+  const Lts& lts_;
+  std::unordered_map<std::string, StateSet> env_;
+  std::unordered_map<const ActionFormula*, std::vector<bool>> masks_;
+};
+
+}  // namespace
+
+StateSet evaluate(const Lts& l, const FormulaPtr& f) {
+  if (f == nullptr) {
+    throw std::invalid_argument("evaluate: null formula");
+  }
+  if (!f->free_vars().empty()) {
+    throw std::invalid_argument("evaluate: formula has free variables: " +
+                                f->to_string());
+  }
+  Evaluator ev(l);
+  return ev.eval(*f);
+}
+
+bool check(const Lts& l, const FormulaPtr& f) {
+  if (l.num_states() == 0) {
+    return true;
+  }
+  return evaluate(l, f).contains(l.initial_state());
+}
+
+}  // namespace multival::mc

@@ -1,0 +1,65 @@
+// Global evaluation of alternation-free mu-calculus formulas over an LTS.
+//
+// The evaluator computes the full satisfaction set of a formula by naive
+// fixpoint iteration over state bitsets; action formulas are compiled once
+// per formula node into a per-ActionId match mask.  Negation is restricted
+// to closed operands (guaranteeing monotonicity of all fixpoints), which
+// covers the alternation-free fragment used by the canned properties.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lts/lts.hpp"
+#include "mc/formula.hpp"
+
+namespace multival::mc {
+
+/// A set of LTS states, as a packed bitset.
+class StateSet {
+ public:
+  StateSet() = default;
+  explicit StateSet(std::size_t n) : bits_((n + 63) / 64, 0), size_(n) {}
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool contains(lts::StateId s) const {
+    return (bits_[s >> 6] >> (s & 63)) & 1u;
+  }
+  void insert(lts::StateId s) { bits_[s >> 6] |= (1ull << (s & 63)); }
+  void erase(lts::StateId s) { bits_[s >> 6] &= ~(1ull << (s & 63)); }
+  void fill() {
+    for (auto& w : bits_) {
+      w = ~0ull;
+    }
+    trim();
+  }
+  void clear() {
+    for (auto& w : bits_) {
+      w = 0;
+    }
+  }
+  [[nodiscard]] std::size_t count() const;
+  [[nodiscard]] std::vector<lts::StateId> members() const;
+
+  friend bool operator==(const StateSet&, const StateSet&) = default;
+
+  StateSet& operator&=(const StateSet& o);
+  StateSet& operator|=(const StateSet& o);
+  /// Complement (within 0..size-1).
+  void complement();
+
+ private:
+  void trim();
+  std::vector<std::uint64_t> bits_;
+  std::size_t size_ = 0;
+};
+
+/// Evaluates @p f over @p l, returning the set of satisfying states.
+/// Throws std::invalid_argument if the formula has free variables or a
+/// negation over a non-closed operand.
+[[nodiscard]] StateSet evaluate(const lts::Lts& l, const FormulaPtr& f);
+
+/// True if the initial state of @p l satisfies @p f.
+[[nodiscard]] bool check(const lts::Lts& l, const FormulaPtr& f);
+
+}  // namespace multival::mc

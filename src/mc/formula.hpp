@@ -1,0 +1,124 @@
+// Action formulas and state formulas of the alternation-free modal
+// mu-calculus, the property language of the functional-verification flow
+// (the role played by EVALUATOR in CADP).
+//
+// Action formulas describe sets of transition labels:
+//    any, tau, visible, "PUSH*" (glob), !af, af & af, af | af
+// State formulas:
+//    tt, ff, f && f, f || f, !f (closed operand only),
+//    <af> f, [af] f, mu X. f, nu X. f, X
+//
+// Formulas are immutable trees built with the free functions below; they are
+// cheap to copy (shared_ptr nodes).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace multival::mc {
+
+// ---------------------------------------------------------------- actions --
+
+class ActionFormula;
+using ActionPtr = std::shared_ptr<const ActionFormula>;
+
+class ActionFormula {
+ public:
+  enum class Kind { kAny, kTau, kVisible, kGlob, kNot, kAnd, kOr };
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& pattern() const { return pattern_; }
+  [[nodiscard]] const ActionPtr& lhs() const { return lhs_; }
+  [[nodiscard]] const ActionPtr& rhs() const { return rhs_; }
+
+  /// True if a transition labelled @p label (tau iff @p is_tau) matches.
+  [[nodiscard]] bool matches(std::string_view label, bool is_tau) const;
+
+  /// Renders the formula ("'PUSH*' | tau" style).
+  [[nodiscard]] std::string to_string() const;
+
+  // Node factory (used by the builder functions below).
+  static ActionPtr make(Kind k, std::string pattern, ActionPtr l, ActionPtr r);
+
+ private:
+  Kind kind_ = Kind::kAny;
+  std::string pattern_;
+  ActionPtr lhs_;
+  ActionPtr rhs_;
+};
+
+/// Matches every transition (including tau).
+[[nodiscard]] ActionPtr act_any();
+/// Matches only tau ("i").
+[[nodiscard]] ActionPtr act_tau();
+/// Matches every visible (non-tau) transition.
+[[nodiscard]] ActionPtr act_visible();
+/// Glob on the full label: '*' matches any run of characters, '?' one.
+/// A pattern without wildcards matches the label exactly.
+[[nodiscard]] ActionPtr act(std::string_view glob);
+[[nodiscard]] ActionPtr act_not(ActionPtr a);
+[[nodiscard]] ActionPtr act_and(ActionPtr a, ActionPtr b);
+[[nodiscard]] ActionPtr act_or(ActionPtr a, ActionPtr b);
+
+/// Standalone glob matcher (exposed for reuse and tests).
+[[nodiscard]] bool glob_match(std::string_view pattern, std::string_view text);
+
+// ----------------------------------------------------------------- states --
+
+class StateFormula;
+using FormulaPtr = std::shared_ptr<const StateFormula>;
+
+class StateFormula {
+ public:
+  enum class Kind {
+    kTrue,
+    kFalse,
+    kAnd,
+    kOr,
+    kNot,
+    kDiamond,
+    kBox,
+    kMu,
+    kNu,
+    kVar,
+  };
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] const std::string& var() const { return var_; }
+  [[nodiscard]] const ActionPtr& action() const { return action_; }
+  [[nodiscard]] const FormulaPtr& lhs() const { return lhs_; }
+  [[nodiscard]] const FormulaPtr& rhs() const { return rhs_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  /// Free fixpoint variables of the formula.
+  [[nodiscard]] std::vector<std::string> free_vars() const;
+
+  static FormulaPtr make(Kind k, std::string var, ActionPtr a, FormulaPtr l,
+                         FormulaPtr r);
+
+ private:
+  Kind kind_ = Kind::kTrue;
+  std::string var_;
+  ActionPtr action_;
+  FormulaPtr lhs_;
+  FormulaPtr rhs_;
+};
+
+[[nodiscard]] FormulaPtr f_true();
+[[nodiscard]] FormulaPtr f_false();
+[[nodiscard]] FormulaPtr f_and(FormulaPtr a, FormulaPtr b);
+[[nodiscard]] FormulaPtr f_or(FormulaPtr a, FormulaPtr b);
+/// Negation; the operand must be closed (checked at evaluation time).
+[[nodiscard]] FormulaPtr f_not(FormulaPtr a);
+/// <af> f : some af-transition leads to a state satisfying f.
+[[nodiscard]] FormulaPtr dia(ActionPtr a, FormulaPtr f);
+/// [af] f : every af-transition leads to a state satisfying f.
+[[nodiscard]] FormulaPtr box(ActionPtr a, FormulaPtr f);
+[[nodiscard]] FormulaPtr mu(std::string_view var, FormulaPtr body);
+[[nodiscard]] FormulaPtr nu(std::string_view var, FormulaPtr body);
+[[nodiscard]] FormulaPtr var(std::string_view name);
+
+}  // namespace multival::mc

@@ -1,0 +1,43 @@
+// Textual front end for the property language (the EVALUATOR role):
+// parses action formulas and state formulas from strings, so properties can
+// be stored in files / passed on a command line instead of built in C++.
+//
+// Grammar (precedence low to high; all operators right-associative):
+//
+//   state   ::= 'mu' IDENT '.' state | 'nu' IDENT '.' state
+//             | or
+//   or      ::= and ('||' and)*
+//   and     ::= unary ('&&' unary)*
+//   unary   ::= '!' unary
+//             | '<' action '>' unary | '[' action ']' unary
+//             | 'tt' | 'ff' | IDENT | '(' state ')'
+//
+//   action  ::= aor
+//   aor     ::= aand ('|' aand)*
+//   aand    ::= aunary ('&' aunary)*
+//   aunary  ::= '!' aunary | 'any' | 'tau' | 'visible'
+//             | '\'' glob '\'' | '"' glob '"' | '(' action ')'
+//
+// Examples:
+//   nu X. (<any> tt && [any] X)                      — deadlock freedom
+//   [ 'PUSH*' ] mu Y. (<any> tt && [ !'POP*' ] Y)    — every push is popped
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include "mc/formula.hpp"
+
+namespace multival::mc {
+
+struct ParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a state formula; throws ParseError with position info.
+[[nodiscard]] FormulaPtr parse_formula(std::string_view text);
+
+/// Parses an action formula.
+[[nodiscard]] ActionPtr parse_action_formula(std::string_view text);
+
+}  // namespace multival::mc

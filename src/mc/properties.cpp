@@ -1,0 +1,73 @@
+#include "mc/properties.hpp"
+
+#include "lts/analysis.hpp"
+#include "mc/diagnostic.hpp"
+
+namespace multival::mc {
+
+FormulaPtr deadlock_freedom() {
+  return nu("X", f_and(dia(act_any(), f_true()), box(act_any(), var("X"))));
+}
+
+FormulaPtr can_do(ActionPtr af) {
+  return mu("X", f_or(dia(std::move(af), f_true()), dia(act_any(), var("X"))));
+}
+
+FormulaPtr inevitable(ActionPtr af) {
+  return mu("X", f_and(dia(act_any(), f_true()),
+                       box(act_not(std::move(af)), var("X"))));
+}
+
+FormulaPtr never(ActionPtr af) {
+  return always(box(std::move(af), f_false()));
+}
+
+FormulaPtr response(ActionPtr trigger, ActionPtr resp) {
+  return always(box(std::move(trigger), inevitable(std::move(resp))));
+}
+
+FormulaPtr always(FormulaPtr f) {
+  return nu("AlwaysX", f_and(std::move(f), box(act_any(), var("AlwaysX"))));
+}
+
+std::vector<PropertyResult> standard_battery(
+    const lts::Lts& l,
+    const std::vector<std::pair<std::string, FormulaPtr>>& extra) {
+  std::vector<PropertyResult> out;
+
+  {
+    const auto deadlocks = lts::deadlock_states(l);
+    PropertyResult r;
+    r.name = "deadlock freedom";
+    r.holds = deadlocks.empty();
+    if (r.holds) {
+      r.detail = "no reachable deadlock";
+    } else {
+      r.detail = std::to_string(deadlocks.size()) +
+                 " reachable deadlock state(s); shortest trace: " +
+                 deadlock_trace(l).to_string();
+    }
+    out.push_back(std::move(r));
+  }
+  {
+    const auto divergent = lts::divergent_states(l);
+    PropertyResult r;
+    r.name = "livelock freedom";
+    r.holds = divergent.empty();
+    r.detail = r.holds ? "no reachable tau cycle"
+                       : std::to_string(divergent.size()) +
+                             " state(s) on a tau cycle, e.g. state " +
+                             std::to_string(divergent.front());
+    out.push_back(std::move(r));
+  }
+  for (const auto& [name, formula] : extra) {
+    PropertyResult r;
+    r.name = name;
+    r.holds = check(l, formula);
+    r.detail = formula->to_string();
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace multival::mc

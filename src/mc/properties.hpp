@@ -1,0 +1,50 @@
+// Canned correctness properties used throughout the Multival case studies,
+// expressed in the mu-calculus (plus a few direct graph algorithms where
+// they are clearer).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lts/lts.hpp"
+#include "mc/evaluator.hpp"
+#include "mc/formula.hpp"
+
+namespace multival::mc {
+
+/// AG <any> tt — no reachable deadlock:  nu X. (<any>tt && [any]X).
+[[nodiscard]] FormulaPtr deadlock_freedom();
+
+/// Possibly @p af:  mu X. (<af>tt || <any>X).
+[[nodiscard]] FormulaPtr can_do(ActionPtr af);
+
+/// Inevitably @p af: every (infinite or maximal) path performs af —
+/// mu X. (<any>tt && [!af]X).  Divergences falsify it, as usual for
+/// action-based inevitability.
+[[nodiscard]] FormulaPtr inevitable(ActionPtr af);
+
+/// AG [af] ff — no reachable af-transition.
+[[nodiscard]] FormulaPtr never(ActionPtr af);
+
+/// Response: after every @p trigger, @p response is inevitable —
+/// nu X. ([trigger] inevitable(response) && [any]X).
+[[nodiscard]] FormulaPtr response(ActionPtr trigger, ActionPtr response);
+
+/// AG (<af>tt => f) convenience: nu X. ((![af]ff... ) ) is awkward in the
+/// negation-restricted fragment, so we provide "always": nu X. (f && [any]X).
+[[nodiscard]] FormulaPtr always(FormulaPtr f);
+
+/// A verification verdict with a one-line explanation (used by reports).
+struct PropertyResult {
+  std::string name;
+  bool holds = false;
+  std::string detail;
+};
+
+/// Runs the standard battery (deadlock freedom, livelock freedom) plus
+/// user-supplied named formulas; returns one verdict per property.
+[[nodiscard]] std::vector<PropertyResult> standard_battery(
+    const lts::Lts& l,
+    const std::vector<std::pair<std::string, FormulaPtr>>& extra = {});
+
+}  // namespace multival::mc

@@ -1,0 +1,42 @@
+// Mesh assembly of FAUST-style routers and the traffic scenarios used for
+// verification and performance analysis.  The mesh is W x H (default 2x2),
+// nodes numbered row-major; the unidirectional link from node a to node b
+// is the gate "L<a>_<b>".
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lts/lts.hpp"
+#include "noc/router.hpp"
+#include "proc/process.hpp"
+
+namespace multival::noc {
+
+/// All unidirectional link gate names of the mesh.
+[[nodiscard]] std::vector<std::string> mesh_link_gates(
+    const MeshDims& dims = {});
+
+/// Builds all routers wired through the link gates; the entry process
+/// "Mesh" keeps the links visible (the performance flow attaches rates to
+/// them).
+[[nodiscard]] proc::Program mesh_program(const MeshDims& dims = {});
+
+/// One packet injected at @p src for @p dst; the environment then waits for
+/// the delivery and stops.  Link gates stay visible unless @p hide_links.
+[[nodiscard]] lts::Lts single_packet_lts(int src, int dst,
+                                         bool hide_links = true,
+                                         const MeshDims& dims = {});
+
+/// A continuous flow src -> dst (inject, wait for delivery, repeat).
+struct Flow {
+  int src = 0;
+  int dst = 0;
+};
+
+/// Closed mesh under the given continuous flows.
+[[nodiscard]] lts::Lts stream_lts(const std::vector<Flow>& flows,
+                                  bool hide_links = true,
+                                  const MeshDims& dims = {});
+
+}  // namespace multival::noc

@@ -1,0 +1,47 @@
+#include "noc/perf.hpp"
+
+#include <map>
+
+#include "core/flow.hpp"
+#include "markov/absorption.hpp"
+#include "markov/steady.hpp"
+
+namespace multival::noc {
+
+namespace {
+
+std::map<std::string, double> rate_table(const NocRates& rates,
+                                         const MeshDims& dims) {
+  std::map<std::string, double> t;
+  for (const std::string& g : mesh_link_gates(dims)) {
+    t[g] = rates.link_rate;
+  }
+  for (int r = 0; r < dims.nodes(); ++r) {
+    t["LI" + std::to_string(r)] = rates.inject_rate;
+    t["LO" + std::to_string(r)] = rates.eject_rate;
+  }
+  return t;
+}
+
+}  // namespace
+
+double packet_latency(int src, int dst, const NocRates& rates,
+                      const MeshDims& dims) {
+  const lts::Lts l = single_packet_lts(src, dst, /*hide_links=*/false, dims);
+  const imc::Imc m = core::decorate_with_rates(l, rate_table(rates, dims));
+  const core::ClosedModel closed =
+      core::close_model(m, imc::NondetPolicy::kUniform);
+  return markov::expected_absorption_time_from_initial(closed.ctmc);
+}
+
+double delivery_throughput(const std::vector<Flow>& flows,
+                           const NocRates& rates, const MeshDims& dims) {
+  const lts::Lts l = stream_lts(flows, /*hide_links=*/false, dims);
+  const imc::Imc m = core::decorate_with_rates(l, rate_table(rates, dims));
+  const core::ClosedModel closed =
+      core::close_model(m, imc::NondetPolicy::kUniform);
+  const auto pi = markov::steady_state(closed.ctmc);
+  return markov::throughput(closed.ctmc, pi, "LO*");
+}
+
+}  // namespace multival::noc

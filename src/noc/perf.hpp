@@ -1,0 +1,29 @@
+// Performance analysis of the FAUST-style NoC: per-path packet latency and
+// delivery throughput under contention, via the IMC flow.
+#pragma once
+
+#include <vector>
+
+#include "noc/mesh.hpp"
+
+namespace multival::noc {
+
+struct NocRates {
+  double inject_rate = 4.0;  ///< local injection handshake
+  double link_rate = 2.0;    ///< one hop across a mesh link
+  double eject_rate = 4.0;   ///< local delivery handshake
+};
+
+/// Expected end-to-end latency of a single packet src -> dst (expected time
+/// to absorption of the single-packet scenario).
+[[nodiscard]] double packet_latency(int src, int dst, const NocRates& rates,
+                                    const MeshDims& dims = {});
+
+/// Long-run delivery rate (sum over all LO gates) under the given
+/// continuous flows.  Arbitration nondeterminism (two packets racing for
+/// one output port) is resolved uniformly.
+[[nodiscard]] double delivery_throughput(const std::vector<Flow>& flows,
+                                         const NocRates& rates,
+                                         const MeshDims& dims = {});
+
+}  // namespace multival::noc

@@ -1,0 +1,59 @@
+// FAUST case study (CEA/Leti): asynchronous Network-on-Chip router.
+//
+// We model the routers of a W x H mesh with XY (dimension-ordered)
+// routing.  Nodes are numbered row-major: node d sits at
+// (x, y) = (d % W, d / W).  Each router has an input port with a one-packet
+// buffer per incoming direction (local injection plus up to four
+// neighbours) and one arbitrated output port per outgoing direction.
+// XY routing forbids the Y -> X turn, which makes the mesh deadlock-free.
+//
+// Packets are abstracted to their destination header (0 .. W*H-1), exactly
+// the abstraction used for the real FAUST router's formal verification
+// [Salaun et al., ASYNC 2007].
+#pragma once
+
+#include <string>
+
+#include "lts/lts.hpp"
+#include "proc/process.hpp"
+
+namespace multival::noc {
+
+struct MeshDims {
+  int width = 2;
+  int height = 2;
+  /// Per-input-port packet buffer depth (1 = the classic single-flit
+  /// latch; deeper buffers admit more packets in flight).
+  int buffer_depth = 1;
+
+  [[nodiscard]] int nodes() const { return width * height; }
+  [[nodiscard]] int x_of(int node) const { return node % width; }
+  [[nodiscard]] int y_of(int node) const { return node / width; }
+};
+
+/// Gate names of one router's ports.  Directions that have no neighbour
+/// are empty strings.  Defaults are direction-letter + node id
+/// ("EI0"/"EO0" = east in/out of node 0, "LI0"/"LO0" = local).
+struct RouterPorts {
+  std::string local_in;
+  std::string local_out;
+  std::string east_in, east_out;
+  std::string west_in, west_out;
+  std::string north_in, north_out;  // towards smaller y
+  std::string south_in, south_out;  // towards larger y
+};
+
+/// Default (unconnected) port names for router @p node of @p dims.
+[[nodiscard]] RouterPorts default_ports(const MeshDims& dims, int node);
+
+/// Adds the definitions of one router to @p program; the entry process is
+/// "Router<node>"; internal request gates are hidden.  Returns the entry
+/// process name.
+[[nodiscard]] std::string add_router(proc::Program& program,
+                                     const MeshDims& dims, int node,
+                                     const RouterPorts& ports);
+
+/// LTS of a single free-running router (all ports open).
+[[nodiscard]] lts::Lts router_lts(int node, const MeshDims& dims = {});
+
+}  // namespace multival::noc

@@ -1,0 +1,67 @@
+#include "phase/fit.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace multival::phase {
+
+PhaseType erlang_for_fixed_delay(double d, std::size_t k) {
+  if (!(d > 0.0)) {
+    throw std::invalid_argument("erlang_for_fixed_delay: delay must be > 0");
+  }
+  if (k == 0) {
+    throw std::invalid_argument("erlang_for_fixed_delay: k must be >= 1");
+  }
+  return PhaseType::erlang(k, static_cast<double>(k) / d);
+}
+
+double kolmogorov_distance_to_fixed(const PhaseType& dist, double d,
+                                    std::size_t grid_points) {
+  if (!(d > 0.0) || grid_points == 0) {
+    throw std::invalid_argument("kolmogorov_distance_to_fixed: bad arguments");
+  }
+  double sup = 0.0;
+  for (std::size_t i = 1; i <= grid_points; ++i) {
+    const double t =
+        3.0 * d * static_cast<double>(i) / static_cast<double>(grid_points);
+    const double f = dist.cdf(t);
+    const double h = t >= d ? 1.0 : 0.0;
+    sup = std::max(sup, std::abs(f - h));
+  }
+  // The step point itself is the usual supremum location; sample both sides.
+  sup = std::max(sup, dist.cdf(d * (1.0 - 1e-9)));
+  sup = std::max(sup, 1.0 - dist.cdf(d * (1.0 + 1e-9)));
+  return sup;
+}
+
+double wasserstein_distance_to_fixed(const PhaseType& dist, double d,
+                                     std::size_t grid_points) {
+  if (!(d > 0.0) || grid_points == 0) {
+    throw std::invalid_argument(
+        "wasserstein_distance_to_fixed: bad arguments");
+  }
+  const double dt = 3.0 * d / static_cast<double>(grid_points);
+  double area = 0.0;
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double t = dt * (static_cast<double>(i) + 0.5);  // midpoint rule
+    const double f = dist.cdf(t);
+    const double h = t >= d ? 1.0 : 0.0;
+    area += std::abs(f - h) * dt;
+  }
+  return area;
+}
+
+FixedDelayFit evaluate_fixed_delay_fit(double d, std::size_t k,
+                                       std::size_t grid_points) {
+  const PhaseType dist = erlang_for_fixed_delay(d, k);
+  FixedDelayFit fit;
+  fit.phases = dist.num_phases();
+  fit.mean_error = std::abs(dist.mean() - d) / d;
+  fit.cv2 = dist.cv2();
+  fit.kolmogorov = kolmogorov_distance_to_fixed(dist, d, grid_points);
+  fit.wasserstein = wasserstein_distance_to_fixed(dist, d, grid_points);
+  return fit;
+}
+
+}  // namespace multival::phase

@@ -1,0 +1,43 @@
+// Approximation of fixed-time (deterministic) delays by phase-type
+// distributions, and the error metrics used to quantify the space-accuracy
+// trade-off the paper's conclusion discusses.
+#pragma once
+
+#include <cstddef>
+
+#include "phase/phase_type.hpp"
+
+namespace multival::phase {
+
+/// Erlang-k approximation of a deterministic delay @p d: mean d, CV^2 = 1/k.
+/// Larger k is more deterministic but costs k phases of state space.
+[[nodiscard]] PhaseType erlang_for_fixed_delay(double d, std::size_t k);
+
+/// Sup-norm (Kolmogorov) distance between @p dist's CDF and the unit step at
+/// @p d (the CDF of the deterministic delay), estimated on @p grid_points
+/// evenly spaced over [0, 3d].  Note: against a deterministic target this
+/// converges to ~0.5 (the jump cannot be matched pointwise); use the
+/// Wasserstein distance as the accuracy metric of the trade-off curve.
+[[nodiscard]] double kolmogorov_distance_to_fixed(const PhaseType& dist,
+                                                  double d,
+                                                  std::size_t grid_points = 200);
+
+/// Wasserstein-1 distance (area between the CDFs, = E|T - d| for unimodal
+/// fits): integral of |F(t) - H(t - d)| over [0, 3d], estimated on a grid.
+/// For Erlang-k this decays like d * sqrt(2 / (pi k)).
+[[nodiscard]] double wasserstein_distance_to_fixed(
+    const PhaseType& dist, double d, std::size_t grid_points = 200);
+
+/// Summary of one point of the space-accuracy trade-off curve.
+struct FixedDelayFit {
+  std::size_t phases = 0;       ///< state-space cost of the approximation
+  double mean_error = 0.0;      ///< |mean - d| / d (0 by construction)
+  double cv2 = 0.0;             ///< residual squared coefficient of variation
+  double kolmogorov = 0.0;      ///< sup-norm CDF error (saturates near 0.5)
+  double wasserstein = 0.0;     ///< area between CDFs (decays ~ 1/sqrt(k))
+};
+
+[[nodiscard]] FixedDelayFit evaluate_fixed_delay_fit(double d, std::size_t k,
+                                                     std::size_t grid_points = 200);
+
+}  // namespace multival::phase

@@ -1,0 +1,201 @@
+#include "phase/phase_type.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "markov/transient.hpp"
+
+namespace multival::phase {
+
+PhaseType::PhaseType(std::vector<double> alpha, std::vector<double> rates,
+                     std::vector<double> cont)
+    : alpha_(std::move(alpha)), rates_(std::move(rates)), cont_(std::move(cont)) {
+  const std::size_t k = rates_.size();
+  if (k == 0) {
+    throw std::invalid_argument("PhaseType: no phases");
+  }
+  if (alpha_.size() != k || cont_.size() != k) {
+    throw std::invalid_argument("PhaseType: inconsistent sizes");
+  }
+  double asum = 0.0;
+  for (const double a : alpha_) {
+    if (a < 0.0 || a > 1.0) {
+      throw std::invalid_argument("PhaseType: bad initial probability");
+    }
+    asum += a;
+  }
+  if (std::abs(asum - 1.0) > 1e-9) {
+    throw std::invalid_argument("PhaseType: alpha must sum to 1");
+  }
+  for (const double r : rates_) {
+    if (!(r > 0.0) || !std::isfinite(r)) {
+      throw std::invalid_argument("PhaseType: rates must be > 0");
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    if (cont_[i] < 0.0 || cont_[i] > 1.0 ||
+        (i + 1 == k && cont_[i] != 0.0)) {
+      throw std::invalid_argument("PhaseType: bad continuation probability");
+    }
+  }
+}
+
+namespace {
+
+/// Per-stage first and second moments of the remaining absorption time,
+/// computed backwards along the Coxian chain.
+struct StageMoments {
+  std::vector<double> m1;
+  std::vector<double> m2;
+};
+
+StageMoments stage_moments(const std::vector<double>& rates,
+                           const std::vector<double>& cont) {
+  const std::size_t k = rates.size();
+  StageMoments sm;
+  sm.m1.assign(k, 0.0);
+  sm.m2.assign(k, 0.0);
+  for (std::size_t idx = k; idx-- > 0;) {
+    const double inv = 1.0 / rates[idx];
+    const double next1 = idx + 1 < k ? sm.m1[idx + 1] : 0.0;
+    const double next2 = idx + 1 < k ? sm.m2[idx + 1] : 0.0;
+    // T = Exp(r) + [continue] T_next.
+    sm.m1[idx] = inv + cont[idx] * next1;
+    sm.m2[idx] =
+        2.0 * inv * inv + cont[idx] * (2.0 * inv * next1 + next2);
+  }
+  return sm;
+}
+
+}  // namespace
+
+double PhaseType::mean() const {
+  const StageMoments sm = stage_moments(rates_, cont_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < alpha_.size(); ++i) {
+    acc += alpha_[i] * sm.m1[i];
+  }
+  return acc;
+}
+
+double PhaseType::variance() const {
+  const StageMoments sm = stage_moments(rates_, cont_);
+  double m1 = 0.0;
+  double m2 = 0.0;
+  for (std::size_t i = 0; i < alpha_.size(); ++i) {
+    m1 += alpha_[i] * sm.m1[i];
+    m2 += alpha_[i] * sm.m2[i];
+  }
+  return m2 - m1 * m1;
+}
+
+double PhaseType::cv2() const {
+  const double m = mean();
+  return variance() / (m * m);
+}
+
+markov::Ctmc PhaseType::absorbing_ctmc() const {
+  const std::size_t k = rates_.size();
+  markov::Ctmc c;
+  c.add_states(k + 1);  // phases 0..k-1, absorbing k
+  for (std::size_t i = 0; i < k; ++i) {
+    const auto s = static_cast<markov::MState>(i);
+    if (cont_[i] > 0.0 && i + 1 < k) {
+      c.add_transition(s, s + 1, rates_[i] * cont_[i]);
+    }
+    const double absorb = rates_[i] * (1.0 - cont_[i]);
+    if (absorb > 0.0) {
+      c.add_transition(s, static_cast<markov::MState>(k), absorb);
+    }
+  }
+  std::vector<double> pi0(k + 1, 0.0);
+  for (std::size_t i = 0; i < k; ++i) {
+    pi0[i] = alpha_[i];
+  }
+  c.set_initial_distribution(std::move(pi0));
+  return c;
+}
+
+double PhaseType::cdf(double t) const {
+  if (t <= 0.0) {
+    return 0.0;
+  }
+  const markov::Ctmc c = absorbing_ctmc();
+  std::vector<bool> absorbed(c.num_states(), false);
+  absorbed.back() = true;
+  return markov::transient_probability(c, absorbed, t);
+}
+
+PhaseType PhaseType::exponential(double rate) {
+  return PhaseType({1.0}, {rate}, {0.0});
+}
+
+PhaseType PhaseType::erlang(std::size_t k, double stage_rate) {
+  if (k == 0) {
+    throw std::invalid_argument("erlang: k must be >= 1");
+  }
+  std::vector<double> alpha(k, 0.0);
+  alpha[0] = 1.0;
+  std::vector<double> cont(k, 1.0);
+  cont[k - 1] = 0.0;
+  return PhaseType(std::move(alpha), std::vector<double>(k, stage_rate),
+                   std::move(cont));
+}
+
+PhaseType PhaseType::hypoexponential(std::vector<double> rates) {
+  const std::size_t k = rates.size();
+  if (k == 0) {
+    throw std::invalid_argument("hypoexponential: no stages");
+  }
+  std::vector<double> alpha(k, 0.0);
+  alpha[0] = 1.0;
+  std::vector<double> cont(k, 1.0);
+  cont[k - 1] = 0.0;
+  return PhaseType(std::move(alpha), std::move(rates), std::move(cont));
+}
+
+PhaseType PhaseType::hyperexponential(std::vector<double> probs,
+                                      std::vector<double> rates) {
+  if (probs.size() != rates.size() || probs.empty()) {
+    throw std::invalid_argument("hyperexponential: inconsistent sizes");
+  }
+  // Branches never continue: alpha = probs, cont = 0 everywhere.
+  return PhaseType(std::move(probs), std::move(rates),
+                   std::vector<double>(rates.size(), 0.0));
+}
+
+imc::Imc delay_process(const PhaseType& dist, std::string_view start_label,
+                       std::string_view end_label) {
+  bool point_mass = dist.alpha()[0] == 1.0;
+  for (std::size_t i = 1; i < dist.alpha().size(); ++i) {
+    point_mass = point_mass && dist.alpha()[i] == 0.0;
+  }
+  if (!point_mass) {
+    throw std::invalid_argument(
+        "delay_process: only distributions starting deterministically in "
+        "phase 0 (exponential / Erlang / hypoexponential) can be inserted "
+        "constraint-orientedly");
+  }
+  const std::size_t k = dist.num_phases();
+  imc::Imc m;
+  const imc::StateId idle = m.add_state();
+  const imc::StateId first_phase = m.add_states(k);
+  const imc::StateId done = m.add_state();
+  m.set_initial_state(idle);
+  m.add_interactive(idle, start_label, first_phase);
+  for (std::size_t i = 0; i < k; ++i) {
+    const imc::StateId s = first_phase + static_cast<imc::StateId>(i);
+    const double cont = dist.continuation()[i];
+    if (cont > 0.0 && i + 1 < k) {
+      m.add_markovian(s, dist.rates()[i] * cont, s + 1);
+    }
+    const double absorb = dist.rates()[i] * (1.0 - cont);
+    if (absorb > 0.0) {
+      m.add_markovian(s, absorb, done, std::string(end_label));
+    }
+  }
+  m.add_interactive(done, end_label, idle);
+  return m;
+}
+
+}  // namespace multival::phase

@@ -1,0 +1,86 @@
+// Phase-type distributions: the timing vocabulary of the Multival flow.
+//
+// A phase-type distribution is the time to absorption of a small CTMC.  The
+// paper's constraint-oriented decoration expresses each delay of the
+// functional model as an auxiliary process that synchronises on the delay's
+// START/END gates and spends phase-type-distributed time in between; the
+// conclusion of the paper discusses the space-accuracy trade-off of
+// approximating *fixed* (deterministic) delays this way, which Erlang-k does
+// with CV^2 = 1/k at the cost of k phases (reproduced by bench exp_f7).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "imc/imc.hpp"
+#include "markov/ctmc.hpp"
+
+namespace multival::phase {
+
+/// A (sub)class of phase-type distributions: a chain of stages, where stage
+/// i has exponential rate rates[i] and continues to stage i+1 with
+/// probability cont[i] (Coxian form; cont.back() is ignored/0).
+/// Erlang, hypoexponential, exponential and hyperexponential distributions
+/// are all expressible (hyperexponential via the initial distribution).
+class PhaseType {
+ public:
+  /// Coxian chain with initial stage probabilities @p alpha (size = number
+  /// of stages; may be sub-stochastic only by rounding).
+  PhaseType(std::vector<double> alpha, std::vector<double> rates,
+            std::vector<double> cont);
+
+  [[nodiscard]] std::size_t num_phases() const { return rates_.size(); }
+  [[nodiscard]] const std::vector<double>& alpha() const { return alpha_; }
+  [[nodiscard]] const std::vector<double>& rates() const { return rates_; }
+  [[nodiscard]] const std::vector<double>& continuation() const {
+    return cont_;
+  }
+
+  /// First moment (mean).
+  [[nodiscard]] double mean() const;
+  /// Variance.
+  [[nodiscard]] double variance() const;
+  /// Squared coefficient of variation (variance / mean^2).
+  [[nodiscard]] double cv2() const;
+
+  /// Cumulative distribution function P[T <= t] (via the underlying
+  /// absorbing CTMC and uniformisation).
+  [[nodiscard]] double cdf(double t) const;
+
+  /// The absorbing CTMC whose absorption time has this distribution; the
+  /// last state is the absorbing one.
+  [[nodiscard]] markov::Ctmc absorbing_ctmc() const;
+
+  // -- named constructors --
+
+  /// Exponential(rate).
+  [[nodiscard]] static PhaseType exponential(double rate);
+  /// Erlang-k with total mean k/rate_per_stage... given as (k, stage rate).
+  [[nodiscard]] static PhaseType erlang(std::size_t k, double stage_rate);
+  /// Hypoexponential: stages with the given rates in sequence.
+  [[nodiscard]] static PhaseType hypoexponential(std::vector<double> rates);
+  /// Hyperexponential: branch i taken with probability probs[i], then
+  /// Exponential(rates[i]).
+  [[nodiscard]] static PhaseType hyperexponential(std::vector<double> probs,
+                                                  std::vector<double> rates);
+
+ private:
+  std::vector<double> alpha_;
+  std::vector<double> rates_;
+  std::vector<double> cont_;
+};
+
+/// Builds the constraint-oriented delay process for @p dist as an IMC:
+///
+///     idle --START(interactive)--> phase_1 --rates...--> done
+///          <---------------END(interactive)------------- done
+///
+/// Composing it with a functional model that performs START when the delay
+/// begins and END when it may complete inserts the distribution into the
+/// model (step 3 of the paper's decoration recipe).
+[[nodiscard]] imc::Imc delay_process(const PhaseType& dist,
+                                     std::string_view start_label,
+                                     std::string_view end_label);
+
+}  // namespace multival::phase

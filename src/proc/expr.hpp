@@ -1,0 +1,132 @@
+// Integer expressions and environments for the LOTOS-like process calculus.
+//
+// The value domain is int32_t ("LOTOS with naturals/booleans folded into
+// ints"): booleans are 0/1, division by zero throws.  Expressions are
+// immutable shared trees with cached free-variable sets; environments are
+// canonical sorted (name, value) vectors so that process configurations can
+// be hashed structurally.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace multival::proc {
+
+using Value = std::int32_t;
+
+class Env;
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+enum class UnaryOp { kNeg, kNot };
+enum class BinaryOp {
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAnd,
+  kOr,
+  kMin,
+  kMax,
+};
+
+class Expr {
+ public:
+  enum class Kind { kConst, kVar, kUnary, kBinary };
+
+  [[nodiscard]] Kind kind() const { return kind_; }
+  [[nodiscard]] Value constant() const { return value_; }
+  [[nodiscard]] const std::string& var_name() const { return name_; }
+
+  /// Evaluates under @p env; throws std::out_of_range on unbound variables
+  /// and std::domain_error on division/modulo by zero.
+  [[nodiscard]] Value eval(const Env& env) const;
+
+  /// Sorted, deduplicated free variables (cached).
+  [[nodiscard]] const std::vector<std::string>& free_vars() const {
+    return free_vars_;
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  static ExprPtr make_const(Value v);
+  static ExprPtr make_var(std::string name);
+  static ExprPtr make_unary(UnaryOp op, ExprPtr a);
+  static ExprPtr make_binary(BinaryOp op, ExprPtr a, ExprPtr b);
+
+ private:
+  Kind kind_ = Kind::kConst;
+  Value value_ = 0;
+  std::string name_;
+  UnaryOp uop_ = UnaryOp::kNeg;
+  BinaryOp bop_ = BinaryOp::kAdd;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+  std::vector<std::string> free_vars_;
+};
+
+/// Canonical variable environment: sorted by name, no duplicates.
+class Env {
+ public:
+  Env() = default;
+
+  /// Binds (or rebinds) @p name.
+  void bind(std::string_view name, Value v);
+
+  [[nodiscard]] std::optional<Value> lookup(std::string_view name) const;
+
+  /// Environment restricted to @p vars (which must be sorted is NOT
+  /// required; missing vars are simply absent).
+  [[nodiscard]] Env restricted_to(std::span<const std::string> vars) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const std::vector<std::pair<std::string, Value>>& entries()
+      const {
+    return entries_;
+  }
+
+  friend bool operator==(const Env&, const Env&) = default;
+
+  [[nodiscard]] std::size_t hash() const;
+
+ private:
+  std::vector<std::pair<std::string, Value>> entries_;  // sorted by name
+};
+
+// ---- builders ---------------------------------------------------------------
+
+[[nodiscard]] ExprPtr lit(Value v);
+[[nodiscard]] ExprPtr evar(std::string_view name);
+
+[[nodiscard]] ExprPtr operator+(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator-(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator*(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator/(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator%(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator==(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator!=(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator<(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator<=(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator>(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator>=(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator&&(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator||(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr operator!(ExprPtr a);
+[[nodiscard]] ExprPtr operator-(ExprPtr a);
+[[nodiscard]] ExprPtr emin(ExprPtr a, ExprPtr b);
+[[nodiscard]] ExprPtr emax(ExprPtr a, ExprPtr b);
+
+}  // namespace multival::proc

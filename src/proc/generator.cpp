@@ -1,0 +1,494 @@
+#include "proc/generator.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+namespace multival::proc {
+
+namespace {
+
+using lts::Lts;
+using lts::StateId;
+
+using CfgId = std::uint32_t;
+constexpr CfgId kNoCfg = static_cast<CfgId>(-1);
+
+/// A runtime configuration node.  Hash-consed: structurally equal
+/// configurations share one id, which makes state identification O(1).
+struct Config {
+  enum class Kind { kLeaf, kPar, kSeq, kHide, kRename };
+
+  Kind kind = Kind::kLeaf;
+  const Term* term = nullptr;  // leaf term, or the par/seq/hide/rename node
+  CfgId left = kNoCfg;         // par left / seq current / hide-rename inner
+  CfgId right = kNoCfg;        // par right
+  Env env;                     // leaf environment / seq continuation env
+
+  friend bool operator==(const Config&, const Config&) = default;
+};
+
+struct ConfigHash {
+  std::size_t operator()(const Config& c) const noexcept {
+    std::uint64_t h = static_cast<std::uint64_t>(c.kind) * 0x9e3779b97f4a7c15ull;
+    h ^= reinterpret_cast<std::uintptr_t>(c.term);
+    h *= 1099511628211ull;
+    h ^= c.left;
+    h *= 1099511628211ull;
+    h ^= c.right;
+    h *= 1099511628211ull;
+    h ^= c.env.hash();
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// A concrete action produced by the SOS rules.
+struct GAction {
+  enum class Type { kVisible, kTau, kExit };
+  Type type = Type::kTau;
+  std::string gate;            // kVisible only
+  std::vector<Value> values;   // kVisible only
+
+  [[nodiscard]] bool can_sync_on(const std::vector<std::string>& gates) const {
+    if (type == Type::kExit) {
+      return true;
+    }
+    if (type != Type::kVisible) {
+      return false;
+    }
+    for (const std::string& g : gates) {
+      if (g == gate) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool same_label(const GAction& o) const {
+    return type == o.type && gate == o.gate && values == o.values;
+  }
+
+  [[nodiscard]] std::string label() const {
+    switch (type) {
+      case Type::kTau:
+        return "i";
+      case Type::kExit:
+        return "exit";
+      case Type::kVisible: {
+        std::string s = gate;
+        for (const Value v : values) {
+          s += " !";
+          s += std::to_string(v);
+        }
+        return s;
+      }
+    }
+    return "?";
+  }
+};
+
+using Successor = std::pair<GAction, CfgId>;
+
+class Generator {
+ public:
+  Generator(const Program& program, const GenerateOptions& options)
+      : program_(program), options_(options) {}
+
+  Lts run(const TermPtr& root) {
+    root_keepalive_ = root;
+    Lts out;
+    const CfgId init = lift(root.get(), Env{}, 0);
+    const StateId s0 = state_of(init, out);
+    out.set_initial_state(s0);
+    while (!worklist_.empty()) {
+      const CfgId cfg = worklist_.front();
+      worklist_.pop_front();
+      const StateId src = cfg_to_state_.at(cfg);
+      for (const Successor& suc : transitions(cfg, 0)) {
+        const StateId dst = state_of(suc.second, out);
+        out.add_transition(src, std::string_view(suc.first.label()), dst);
+      }
+    }
+    return out;
+  }
+
+  /// Breadth-first search that stops at the first deadlocked state.
+  DeadlockSearchResult run_find_deadlock(const TermPtr& root) {
+    root_keepalive_ = root;
+    Lts out;  // states only; transitions are not materialised
+    DeadlockSearchResult result;
+    struct Parent {
+      StateId state = lts::kNoState;
+      std::string label;
+    };
+    std::vector<Parent> parents;
+
+    const CfgId init = lift(root.get(), Env{}, 0);
+    (void)state_of(init, out);
+    out.set_initial_state(0);
+    parents.emplace_back();
+
+    while (!worklist_.empty()) {
+      const CfgId cfg = worklist_.front();
+      worklist_.pop_front();
+      const StateId src = cfg_to_state_.at(cfg);
+      const auto succ = transitions(cfg, 0);
+      ++result.states_explored;
+      if (succ.empty()) {
+        result.found = true;
+        // Unwind the parent chain.
+        for (StateId s = src; parents[s].state != lts::kNoState;
+             s = parents[s].state) {
+          result.trace.push_back(parents[s].label);
+        }
+        std::reverse(result.trace.begin(), result.trace.end());
+        return result;
+      }
+      for (const Successor& suc : succ) {
+        const std::size_t before = cfg_to_state_.size();
+        const StateId dst = state_of(suc.second, out);
+        if (cfg_to_state_.size() > before) {
+          parents.push_back(Parent{src, suc.first.label()});
+          (void)dst;
+        }
+      }
+    }
+    return result;
+  }
+
+ private:
+  // ---- configuration interning -------------------------------------------
+
+  CfgId intern(Config c) {
+    const auto it = ids_.find(c);
+    if (it != ids_.end()) {
+      return it->second;
+    }
+    const auto id = static_cast<CfgId>(arena_.size());
+    arena_.push_back(c);
+    ids_.emplace(std::move(c), id);
+    return id;
+  }
+
+  const Config& cfg(CfgId id) const { return arena_[id]; }
+
+  CfgId stopped() {
+    Config c;
+    c.kind = Config::Kind::kLeaf;
+    c.term = stop().get();
+    return intern(std::move(c));
+  }
+
+  // ---- lifting: term + env -> configuration --------------------------------
+
+  /// Normalises structural operators into configuration nodes, resolves
+  /// guards, and unfolds process calls.  @p depth guards against unguarded
+  /// recursion.
+  CfgId lift(const Term* t, const Env& env, std::size_t depth) {
+    bump(depth);
+    switch (t->kind()) {
+      case Term::Kind::kPar: {
+        Config c;
+        c.kind = Config::Kind::kPar;
+        c.term = t;
+        c.left = lift(t->children()[0].get(), env, depth + 1);
+        c.right = lift(t->children()[1].get(), env, depth + 1);
+        return intern(std::move(c));
+      }
+      case Term::Kind::kHide:
+      case Term::Kind::kRename: {
+        Config c;
+        c.kind = t->kind() == Term::Kind::kHide ? Config::Kind::kHide
+                                                : Config::Kind::kRename;
+        c.term = t;
+        c.left = lift(t->children()[0].get(), env, depth + 1);
+        return intern(std::move(c));
+      }
+      case Term::Kind::kSeq: {
+        Config c;
+        c.kind = Config::Kind::kSeq;
+        c.term = t;
+        c.left = lift(t->children()[0].get(), env, depth + 1);
+        c.env = env.restricted_to(t->children()[1]->free_vars());
+        return intern(std::move(c));
+      }
+      case Term::Kind::kGuard: {
+        if (t->condition()->eval(env) != 0) {
+          return lift(t->children()[0].get(), env, depth + 1);
+        }
+        return stopped();
+      }
+      case Term::Kind::kCall: {
+        const Program::Definition& def = program_.definition(t->callee());
+        if (def.params.size() != t->args().size()) {
+          throw std::invalid_argument(
+              "call of " + t->callee() + ": expected " +
+              std::to_string(def.params.size()) + " argument(s), got " +
+              std::to_string(t->args().size()));
+        }
+        Env inner;
+        for (std::size_t i = 0; i < def.params.size(); ++i) {
+          inner.bind(def.params[i], t->args()[i]->eval(env));
+        }
+        return lift(def.body.get(), inner, depth + 1);
+      }
+      case Term::Kind::kStop:
+      case Term::Kind::kExit:
+      case Term::Kind::kPrefix:
+      case Term::Kind::kChoice: {
+        Config c;
+        c.kind = Config::Kind::kLeaf;
+        c.term = t;
+        c.env = env.restricted_to(t->free_vars());
+        return intern(std::move(c));
+      }
+    }
+    throw std::logic_error("lift: bad term kind");
+  }
+
+  // ---- SOS transition rules -------------------------------------------------
+
+  std::vector<Successor> transitions(CfgId id, std::size_t depth) {
+    bump(depth);
+    const Config c = cfg(id);  // copy: arena_ may grow during recursion
+    switch (c.kind) {
+      case Config::Kind::kLeaf:
+        return leaf_transitions(c, depth);
+      case Config::Kind::kPar:
+        return par_transitions(c, depth);
+      case Config::Kind::kSeq:
+        return seq_transitions(c, depth);
+      case Config::Kind::kHide:
+        return hide_transitions(c, depth);
+      case Config::Kind::kRename:
+        return rename_transitions(c, depth);
+    }
+    throw std::logic_error("transitions: bad config kind");
+  }
+
+  std::vector<Successor> leaf_transitions(const Config& c, std::size_t depth) {
+    const Term& t = *c.term;
+    switch (t.kind()) {
+      case Term::Kind::kStop:
+        return {};
+      case Term::Kind::kExit: {
+        GAction a;
+        a.type = GAction::Type::kExit;
+        return {{std::move(a), stopped()}};
+      }
+      case Term::Kind::kPrefix: {
+        std::vector<Successor> out;
+        std::vector<Value> values;
+        enumerate_offers(t, 0, c.env, values, out, depth);
+        return out;
+      }
+      case Term::Kind::kChoice: {
+        std::vector<Successor> out;
+        for (const TermPtr& branch : t.children()) {
+          const CfgId b = lift(branch.get(), c.env, depth + 1);
+          auto moves = transitions(b, depth + 1);
+          out.insert(out.end(), std::make_move_iterator(moves.begin()),
+                     std::make_move_iterator(moves.end()));
+        }
+        return out;
+      }
+      default:
+        throw std::logic_error("leaf_transitions: non-leaf term");
+    }
+  }
+
+  /// Left-to-right enumeration of value offers: emits evaluate under the
+  /// environment extended by earlier accepts; accepts enumerate their range.
+  void enumerate_offers(const Term& t, std::size_t index, const Env& env,
+                        std::vector<Value>& values,
+                        std::vector<Successor>& out, std::size_t depth) {
+    if (index == t.offers().size()) {
+      GAction a;
+      a.type = GAction::Type::kVisible;
+      a.gate = t.gate();
+      a.values = values;
+      out.emplace_back(std::move(a),
+                       lift(t.children()[0].get(), env, depth + 1));
+      return;
+    }
+    const Offer& o = t.offers()[index];
+    if (o.kind == Offer::Kind::kEmit) {
+      values.push_back(o.expr->eval(env));
+      enumerate_offers(t, index + 1, env, values, out, depth);
+      values.pop_back();
+    } else {
+      for (Value v = o.lo; v <= o.hi; ++v) {
+        Env extended = env;
+        extended.bind(o.var, v);
+        values.push_back(v);
+        enumerate_offers(t, index + 1, extended, values, out, depth);
+        values.pop_back();
+      }
+    }
+  }
+
+  std::vector<Successor> par_transitions(const Config& c, std::size_t depth) {
+    const std::vector<std::string>& sync = c.term->gates();
+    const auto left_moves = transitions(c.left, depth + 1);
+    const auto right_moves = transitions(c.right, depth + 1);
+    std::vector<Successor> out;
+
+    const auto make_par = [&](CfgId l, CfgId r) {
+      Config p;
+      p.kind = Config::Kind::kPar;
+      p.term = c.term;
+      p.left = l;
+      p.right = r;
+      return intern(std::move(p));
+    };
+
+    for (const Successor& lm : left_moves) {
+      if (!lm.first.can_sync_on(sync)) {
+        out.emplace_back(lm.first, make_par(lm.second, c.right));
+      }
+    }
+    for (const Successor& rm : right_moves) {
+      if (!rm.first.can_sync_on(sync)) {
+        out.emplace_back(rm.first, make_par(c.left, rm.second));
+      }
+    }
+    for (const Successor& lm : left_moves) {
+      if (!lm.first.can_sync_on(sync)) {
+        continue;
+      }
+      for (const Successor& rm : right_moves) {
+        if (!rm.first.can_sync_on(sync) || !lm.first.same_label(rm.first)) {
+          continue;
+        }
+        out.emplace_back(lm.first, make_par(lm.second, rm.second));
+      }
+    }
+    return out;
+  }
+
+  std::vector<Successor> seq_transitions(const Config& c, std::size_t depth) {
+    std::vector<Successor> out;
+    for (const Successor& m : transitions(c.left, depth + 1)) {
+      if (m.first.type == GAction::Type::kExit) {
+        GAction tau;
+        tau.type = GAction::Type::kTau;
+        out.emplace_back(std::move(tau),
+                         lift(c.term->children()[1].get(), c.env, depth + 1));
+      } else {
+        Config s;
+        s.kind = Config::Kind::kSeq;
+        s.term = c.term;
+        s.left = m.second;
+        s.env = c.env;
+        out.emplace_back(m.first, intern(std::move(s)));
+      }
+    }
+    return out;
+  }
+
+  std::vector<Successor> hide_transitions(const Config& c, std::size_t depth) {
+    std::vector<Successor> out;
+    for (Successor m : transitions(c.left, depth + 1)) {
+      if (m.first.type == GAction::Type::kVisible &&
+          m.first.can_sync_on(c.term->gates())) {
+        m.first = GAction{};  // tau
+      }
+      Config h;
+      h.kind = Config::Kind::kHide;
+      h.term = c.term;
+      h.left = m.second;
+      out.emplace_back(std::move(m.first), intern(std::move(h)));
+    }
+    return out;
+  }
+
+  std::vector<Successor> rename_transitions(const Config& c,
+                                            std::size_t depth) {
+    std::vector<Successor> out;
+    for (Successor m : transitions(c.left, depth + 1)) {
+      if (m.first.type == GAction::Type::kVisible) {
+        const auto it = c.term->gate_map().find(m.first.gate);
+        if (it != c.term->gate_map().end()) {
+          m.first.gate = it->second;
+        }
+      }
+      Config r;
+      r.kind = Config::Kind::kRename;
+      r.term = c.term;
+      r.left = m.second;
+      out.emplace_back(std::move(m.first), intern(std::move(r)));
+    }
+    return out;
+  }
+
+  // ---- state management --------------------------------------------------
+
+  StateId state_of(CfgId cfg, Lts& out) {
+    const auto it = cfg_to_state_.find(cfg);
+    if (it != cfg_to_state_.end()) {
+      return it->second;
+    }
+    if (out.num_states() >= options_.max_states) {
+      throw StateSpaceLimit("generate: state space exceeds " +
+                            std::to_string(options_.max_states) + " states");
+    }
+    const StateId s = out.add_state();
+    cfg_to_state_.emplace(cfg, s);
+    worklist_.push_back(cfg);
+    return s;
+  }
+
+  void bump(std::size_t depth) const {
+    if (depth > options_.max_unfold_depth) {
+      throw UnguardedRecursion(
+          "generate: unfolding depth exceeded (unguarded recursion?)");
+    }
+  }
+
+  const Program& program_;
+  GenerateOptions options_;
+  TermPtr root_keepalive_;
+  std::deque<Config> arena_;
+  std::unordered_map<Config, CfgId, ConfigHash> ids_;
+  std::unordered_map<CfgId, StateId> cfg_to_state_;
+  std::deque<CfgId> worklist_;
+};
+
+}  // namespace
+
+Lts generate(const Program& program, std::string_view entry,
+             std::vector<Value> args, const GenerateOptions& options) {
+  std::vector<ExprPtr> arg_exprs;
+  arg_exprs.reserve(args.size());
+  for (const Value v : args) {
+    arg_exprs.push_back(lit(v));
+  }
+  return generate_term(program, call(entry, std::move(arg_exprs)), options);
+}
+
+Lts generate_term(const Program& program, const TermPtr& t,
+                  const GenerateOptions& options) {
+  if (t == nullptr) {
+    throw std::invalid_argument("generate_term: null term");
+  }
+  Generator gen(program, options);
+  return gen.run(t);
+}
+
+DeadlockSearchResult find_deadlock(const Program& program,
+                                   std::string_view entry,
+                                   std::vector<Value> args,
+                                   const GenerateOptions& options) {
+  std::vector<ExprPtr> arg_exprs;
+  arg_exprs.reserve(args.size());
+  for (const Value v : args) {
+    arg_exprs.push_back(lit(v));
+  }
+  Generator gen(program, options);
+  return gen.run_find_deadlock(call(entry, std::move(arg_exprs)));
+}
+
+}  // namespace multival::proc

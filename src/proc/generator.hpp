@@ -1,0 +1,64 @@
+// Explicit-state LTS generation from a process Program (the role played by
+// CAESAR in CADP).
+//
+// Runtime configurations are hash-consed immutable trees mirroring the
+// static structure of the term (parallel / hiding / renaming / sequential
+// contexts) with sequential leaves (term, environment).  The generator
+// explores the configuration graph breadth-first and emits an Lts whose
+// labels are "GATE !v1 !v2", "i" for internal actions, and "exit" for
+// successful termination.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "lts/lts.hpp"
+#include "proc/process.hpp"
+
+namespace multival::proc {
+
+struct GenerateOptions {
+  /// Hard cap on the number of distinct states; exceeded -> throws
+  /// StateSpaceLimit.
+  std::size_t max_states = 1u << 22;
+  /// Bound on sequential unfolding (guards/choices/calls) when computing the
+  /// transitions of a single state; exceeded -> throws UnguardedRecursion.
+  std::size_t max_unfold_depth = 2048;
+};
+
+/// Thrown when the state space exceeds GenerateOptions::max_states.
+struct StateSpaceLimit : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown on (probable) unguarded recursion, e.g. P := P [] a;Q.
+struct UnguardedRecursion : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Generates the LTS of process @p entry called with @p args.
+[[nodiscard]] lts::Lts generate(const Program& program,
+                                std::string_view entry,
+                                std::vector<Value> args = {},
+                                const GenerateOptions& options = {});
+
+/// Generates the LTS of an anonymous behaviour term (closed).
+[[nodiscard]] lts::Lts generate_term(const Program& program, const TermPtr& t,
+                                     const GenerateOptions& options = {});
+
+/// On-the-fly deadlock search: explores breadth-first and stops at the
+/// first deadlocked state, without completing the state space.  The trace
+/// is shortest (by transition count).
+struct DeadlockSearchResult {
+  bool found = false;
+  std::vector<std::string> trace;  ///< labels from the initial state
+  std::size_t states_explored = 0;
+};
+
+[[nodiscard]] DeadlockSearchResult find_deadlock(
+    const Program& program, std::string_view entry,
+    std::vector<Value> args = {}, const GenerateOptions& options = {});
+
+}  // namespace multival::proc

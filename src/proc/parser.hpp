@@ -1,0 +1,51 @@
+// Textual front end for the process calculus: a LOTOS-flavoured concrete
+// syntax so models can live in files (the paper's models are LOTOS source).
+//
+// Program syntax:
+//
+//   process Name (p1, p2) :=  behaviour  endproc
+//   process Name :=  behaviour  endproc
+//
+// Behaviour syntax (precedence from loosest to tightest; parenthesise when
+// mixing parallel operators):
+//
+//   B ::= B1 [] B2                      choice
+//       | B1 |[ G1, G2 ]| B2            parallel with synchronisation
+//       | B1 ||| B2                     interleaving
+//       | B1 >> B2                      sequential composition (enable)
+//       | GATE offers ; B               action prefix
+//       | [ expr ] -> B                 guard
+//       | hide G1, G2 in B              hiding
+//       | rename G1 -> H1, G2 -> H2 in B
+//       | Name | Name (e1, e2)          process instantiation
+//       | stop | exit | ( B )
+//
+//   offers ::= ( '!' expr | '?' var ':' int '..' int )*
+//
+// Value expressions: integers, parameters, + - * / %, comparisons,
+// && || !, unary minus, parentheses.
+//
+// Line comments start with "--" (LOTOS style) or "//".
+#pragma once
+
+#include <stdexcept>
+#include <string_view>
+
+#include "proc/process.hpp"
+
+namespace multival::proc {
+
+struct ProcParseError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a whole program (a sequence of process definitions).
+[[nodiscard]] Program parse_program(std::string_view text);
+
+/// Parses a single behaviour expression (no definitions).
+[[nodiscard]] TermPtr parse_behaviour(std::string_view text);
+
+/// Parses a value expression.
+[[nodiscard]] ExprPtr parse_value_expr(std::string_view text);
+
+}  // namespace multival::proc

@@ -1,0 +1,322 @@
+#include "proc/process.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace multival::proc {
+
+Offer emit(ExprPtr e) {
+  Offer o;
+  o.kind = Offer::Kind::kEmit;
+  o.expr = std::move(e);
+  return o;
+}
+
+Offer accept(std::string_view var, Value lo, Value hi) {
+  if (lo > hi) {
+    throw std::invalid_argument("accept: empty range for " + std::string(var));
+  }
+  Offer o;
+  o.kind = Offer::Kind::kAccept;
+  o.var = std::string(var);
+  o.lo = lo;
+  o.hi = hi;
+  return o;
+}
+
+namespace {
+
+void merge_into(std::vector<std::string>& acc,
+                const std::vector<std::string>& more) {
+  for (const std::string& v : more) {
+    acc.push_back(v);
+  }
+}
+
+void remove_var(std::vector<std::string>& acc, const std::string& var) {
+  acc.erase(std::remove(acc.begin(), acc.end(), var), acc.end());
+}
+
+std::vector<std::string> compute_free_vars(
+    Term::Kind kind, const std::vector<Offer>& offers, const ExprPtr& cond,
+    const std::vector<TermPtr>& children, const std::vector<ExprPtr>& args) {
+  std::vector<std::string> fv;
+  switch (kind) {
+    case Term::Kind::kStop:
+    case Term::Kind::kExit:
+      break;
+    case Term::Kind::kPrefix: {
+      // Offers bind left to right; the continuation (children[0]) sees all
+      // accept variables.
+      std::vector<std::string> cont_fv = children[0]->free_vars();
+      std::vector<std::string> bound;
+      // Forward pass collecting emit variables not yet bound.
+      for (const Offer& o : offers) {
+        if (o.kind == Offer::Kind::kEmit) {
+          for (const std::string& v : o.expr->free_vars()) {
+            if (std::find(bound.begin(), bound.end(), v) == bound.end()) {
+              fv.push_back(v);
+            }
+          }
+        } else {
+          bound.push_back(o.var);
+        }
+      }
+      for (const std::string& b : bound) {
+        remove_var(cont_fv, b);
+      }
+      merge_into(fv, cont_fv);
+      break;
+    }
+    case Term::Kind::kGuard:
+      merge_into(fv, cond->free_vars());
+      merge_into(fv, children[0]->free_vars());
+      break;
+    case Term::Kind::kChoice:
+    case Term::Kind::kPar:
+    case Term::Kind::kHide:
+    case Term::Kind::kRename:
+    case Term::Kind::kSeq:
+      for (const TermPtr& c : children) {
+        merge_into(fv, c->free_vars());
+      }
+      break;
+    case Term::Kind::kCall:
+      for (const ExprPtr& a : args) {
+        merge_into(fv, a->free_vars());
+      }
+      break;
+  }
+  std::sort(fv.begin(), fv.end());
+  fv.erase(std::unique(fv.begin(), fv.end()), fv.end());
+  return fv;
+}
+
+}  // namespace
+
+TermPtr Term::make(Kind k, std::string gate, std::vector<Offer> offers,
+                   ExprPtr cond, std::vector<TermPtr> children,
+                   std::vector<std::string> gates,
+                   std::map<std::string, std::string> gate_map,
+                   std::vector<ExprPtr> args) {
+  for (const TermPtr& c : children) {
+    if (c == nullptr) {
+      throw std::invalid_argument("Term::make: null child");
+    }
+  }
+  auto t = std::make_shared<Term>();
+  t->kind_ = k;
+  t->gate_ = std::move(gate);
+  t->offers_ = std::move(offers);
+  t->cond_ = std::move(cond);
+  t->children_ = std::move(children);
+  t->gates_ = std::move(gates);
+  t->gate_map_ = std::move(gate_map);
+  t->args_ = std::move(args);
+  t->free_vars_ =
+      compute_free_vars(k, t->offers_, t->cond_, t->children_, t->args_);
+  return t;
+}
+
+TermPtr stop() {
+  static const TermPtr kStopTerm =
+      Term::make(Term::Kind::kStop, {}, {}, nullptr, {}, {}, {}, {});
+  return kStopTerm;
+}
+
+TermPtr exit_() {
+  static const TermPtr kExitTerm =
+      Term::make(Term::Kind::kExit, {}, {}, nullptr, {}, {}, {}, {});
+  return kExitTerm;
+}
+
+TermPtr prefix(std::string_view gate, std::vector<Offer> offers,
+               TermPtr cont) {
+  if (gate.empty() || gate == "i" || gate == "exit") {
+    throw std::invalid_argument("prefix: reserved or empty gate name \"" +
+                                std::string(gate) + '"');
+  }
+  return Term::make(Term::Kind::kPrefix, std::string(gate), std::move(offers),
+                    nullptr, {std::move(cont)}, {}, {}, {});
+}
+
+TermPtr prefix(std::string_view gate, TermPtr cont) {
+  return prefix(gate, std::vector<Offer>{}, std::move(cont));
+}
+
+TermPtr guard(ExprPtr cond, TermPtr body) {
+  return Term::make(Term::Kind::kGuard, {}, {}, std::move(cond),
+                    {std::move(body)}, {}, {}, {});
+}
+
+TermPtr choice(std::vector<TermPtr> branches) {
+  if (branches.empty()) {
+    return stop();
+  }
+  if (branches.size() == 1) {
+    return branches[0];
+  }
+  return Term::make(Term::Kind::kChoice, {}, {}, nullptr, std::move(branches),
+                    {}, {}, {});
+}
+
+TermPtr par(TermPtr l, std::vector<std::string> sync_gates, TermPtr r) {
+  return Term::make(Term::Kind::kPar, {}, {}, nullptr,
+                    {std::move(l), std::move(r)}, std::move(sync_gates), {},
+                    {});
+}
+
+TermPtr interleaving(TermPtr l, TermPtr r) {
+  return par(std::move(l), {}, std::move(r));
+}
+
+TermPtr hide(std::vector<std::string> gates, TermPtr body) {
+  return Term::make(Term::Kind::kHide, {}, {}, nullptr, {std::move(body)},
+                    std::move(gates), {}, {});
+}
+
+TermPtr rename(std::map<std::string, std::string> gate_map, TermPtr body) {
+  return Term::make(Term::Kind::kRename, {}, {}, nullptr, {std::move(body)},
+                    {}, std::move(gate_map), {});
+}
+
+TermPtr seq(TermPtr first, TermPtr then) {
+  return Term::make(Term::Kind::kSeq, {}, {}, nullptr,
+                    {std::move(first), std::move(then)}, {}, {}, {});
+}
+
+TermPtr call(std::string_view name, std::vector<ExprPtr> args) {
+  if (name.empty()) {
+    throw std::invalid_argument("call: empty process name");
+  }
+  return Term::make(Term::Kind::kCall, std::string(name), {}, nullptr, {}, {},
+                    {}, std::move(args));
+}
+
+// ------------------------------------------------------------- pretty-print --
+
+std::string Term::to_string() const {
+  switch (kind_) {
+    case Kind::kStop:
+      return "stop";
+    case Kind::kExit:
+      return "exit";
+    case Kind::kPrefix: {
+      std::string s = gate_;
+      for (const Offer& o : offers_) {
+        if (o.kind == Offer::Kind::kEmit) {
+          s += " !(" + o.expr->to_string() + ")";
+        } else {
+          s += " ?" + o.var + ":" + std::to_string(o.lo) + ".." +
+               std::to_string(o.hi);
+        }
+      }
+      return s + "; " + children_[0]->to_string();
+    }
+    case Kind::kGuard:
+      return "[" + cond_->to_string() + "] -> " + children_[0]->to_string();
+    case Kind::kChoice: {
+      std::string s = "(";
+      for (std::size_t i = 0; i < children_.size(); ++i) {
+        if (i > 0) {
+          s += " [] ";
+        }
+        s += children_[i]->to_string();
+      }
+      return s + ")";
+    }
+    case Kind::kPar: {
+      std::string s =
+          "(" + children_[0]->to_string() + (gates_.empty() ? " |||" : " |[");
+      for (std::size_t i = 0; i < gates_.size(); ++i) {
+        s += (i > 0 ? ", " : "") + gates_[i];
+      }
+      s += gates_.empty() ? " " : "]| ";
+      return s + children_[1]->to_string() + ")";
+    }
+    case Kind::kHide: {
+      std::string s = "hide ";
+      for (std::size_t i = 0; i < gates_.size(); ++i) {
+        s += (i > 0 ? ", " : "") + gates_[i];
+      }
+      return s + " in (" + children_[0]->to_string() + ")";
+    }
+    case Kind::kRename: {
+      std::string s = "rename ";
+      bool first = true;
+      for (const auto& [from, to] : gate_map_) {
+        if (!first) {
+          s += ", ";
+        }
+        first = false;
+        s += from + " -> " + to;
+      }
+      return s + " in (" + children_[0]->to_string() + ")";
+    }
+    case Kind::kSeq:
+      return "(" + children_[0]->to_string() + " >> " +
+             children_[1]->to_string() + ")";
+    case Kind::kCall: {
+      if (args_.empty()) {
+        return gate_;
+      }
+      std::string s = gate_ + " (";
+      for (std::size_t i = 0; i < args_.size(); ++i) {
+        if (i > 0) {
+          s += ", ";
+        }
+        s += args_[i]->to_string();
+      }
+      return s + ")";
+    }
+  }
+  return "?";
+}
+
+std::string Program::to_string() const {
+  std::string s;
+  for (const auto& [name, def] : defs_) {
+    s += "process " + name;
+    if (!def.params.empty()) {
+      s += " (";
+      for (std::size_t i = 0; i < def.params.size(); ++i) {
+        if (i > 0) {
+          s += ", ";
+        }
+        s += def.params[i];
+      }
+      s += ")";
+    }
+    s += " :=\n  " + def.body->to_string() + "\nendproc\n\n";
+  }
+  return s;
+}
+
+// ------------------------------------------------------------------ Program --
+
+void Program::define(std::string_view name, std::vector<std::string> params,
+                     TermPtr body) {
+  if (body == nullptr) {
+    throw std::invalid_argument("Program::define: null body");
+  }
+  const auto [it, inserted] = defs_.emplace(
+      std::string(name), Definition{std::move(params), std::move(body)});
+  if (!inserted) {
+    throw std::invalid_argument("Program::define: redefinition of " +
+                                std::string(name));
+  }
+}
+
+const Program::Definition& Program::definition(std::string_view name) const {
+  const auto it = defs_.find(name);
+  if (it == defs_.end()) {
+    throw std::out_of_range("Program: undefined process " + std::string(name));
+  }
+  return it->second;
+}
+
+bool Program::has_definition(std::string_view name) const {
+  return defs_.find(name) != defs_.end();
+}
+
+}  // namespace multival::proc

@@ -1,0 +1,63 @@
+// xSTream case study (STMicroelectronics): credit-based flow-controlled
+// "virtual queues" of the xSTream dataflow fabric.
+//
+// A virtual queue couples a producer-side stage and a consumer-side FIFO
+// across the NoC with credit-based flow control:
+//
+//   PUSH -> [push stage] --NET--> [pop FIFO cap C] -> POP
+//                 ^------------CREDIT-------------------'
+//
+// The push stage may only send on NET when it holds a credit; the pop side
+// returns one CREDIT per POP.  The paper reports that model checking these
+// queues "highlighted two functional issues"; we reproduce two classic
+// credit-protocol defects as model variants:
+//   kLostCredit      — the consumer forgets to return a credit whenever a
+//                      pop drains the FIFO; one credit leaks per drain until
+//                      the queue wedges (deadlock).
+//   kEagerCredit     — the consumer grants the credit on NET reception
+//                      instead of on POP; the producer can overrun a full
+//                      FIFO and a packet is dropped (visible LOSE action).
+#pragma once
+
+#include <string>
+
+#include "lts/lts.hpp"
+#include "proc/process.hpp"
+
+namespace multival::xstream {
+
+enum class QueueVariant {
+  kCorrect,
+  kLostCredit,
+  kEagerCredit,
+};
+
+[[nodiscard]] const char* to_string(QueueVariant v);
+
+struct QueueConfig {
+  /// Pop-side FIFO capacity (= initial number of credits).
+  int capacity = 2;
+  /// Payload values range over 0..max_value (>=1 exercises FIFO order).
+  int max_value = 1;
+  QueueVariant variant = QueueVariant::kCorrect;
+};
+
+/// Builds the process program of one virtual queue.  The entry point is
+/// "VirtualQueue"; external gates are PUSH (?v), POP (!v) and, for the
+/// kEagerCredit variant, LOSE (!v); NET and CREDIT are internal (hidden).
+[[nodiscard]] proc::Program virtual_queue_program(const QueueConfig& cfg);
+
+/// Generates the queue LTS (internal gates hidden).
+[[nodiscard]] lts::Lts virtual_queue_lts(const QueueConfig& cfg);
+
+/// Generates the queue LTS keeping NET and CREDIT visible (used by the
+/// performance decoration, which attaches rates to them).
+[[nodiscard]] lts::Lts virtual_queue_lts_open(const QueueConfig& cfg);
+
+/// Reference service specification: a plain FIFO of capacity
+/// cfg.capacity + 1 (pop FIFO plus the one-packet push stage) over the same
+/// value range.  The correct virtual queue must be branching-equivalent to
+/// it after hiding the protocol internals.
+[[nodiscard]] lts::Lts reference_fifo_lts(const QueueConfig& cfg);
+
+}  // namespace multival::xstream

@@ -1,0 +1,156 @@
+// Tests for the DTMC module and the embedded-chain relationship, plus
+// parser robustness sweeps.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "markov/dtmc.hpp"
+#include "markov/steady.hpp"
+#include "mc/parser.hpp"
+#include "proc/parser.hpp"
+
+namespace {
+
+using namespace multival;
+using namespace multival::markov;
+
+// --- DTMC basics --------------------------------------------------------------
+
+TEST(DtmcTest, Validation) {
+  // Non-square.
+  EXPECT_THROW(Dtmc(SparseMatrix::from_triplets(1, 2, {{0, 0, 1.0}}),
+                    {1.0}),
+               std::invalid_argument);
+  // Bad row sum.
+  EXPECT_THROW(Dtmc(SparseMatrix::from_triplets(2, 2, {{0, 1, 0.5},
+                                                       {1, 0, 1.0}}),
+                    {1.0, 0.0}),
+               std::invalid_argument);
+  // Initial size mismatch.
+  EXPECT_THROW(Dtmc(SparseMatrix::from_triplets(2, 2, {{0, 1, 1.0},
+                                                       {1, 0, 1.0}}),
+                    {1.0}),
+               std::invalid_argument);
+}
+
+TEST(DtmcTest, AbsorbingRowsGetSelfLoops) {
+  // Row 1 empty -> absorbing self-loop.
+  const Dtmc d(SparseMatrix::from_triplets(2, 2, {{0, 1, 1.0}}),
+               {1.0, 0.0});
+  const auto v = d.distribution_after(5);
+  EXPECT_NEAR(v[1], 1.0, 1e-12);
+}
+
+TEST(DtmcTest, DistributionAfterSteps) {
+  // Deterministic 3-cycle.
+  const Dtmc d(SparseMatrix::from_triplets(
+                   3, 3, {{0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}}),
+               {1.0, 0.0, 0.0});
+  EXPECT_NEAR(d.distribution_after(1)[1], 1.0, 1e-12);
+  EXPECT_NEAR(d.distribution_after(3)[0], 1.0, 1e-12);
+}
+
+TEST(DtmcTest, StationaryTwoState) {
+  // P = [[0.5, 0.5], [0.25, 0.75]] -> psi = (1/3, 2/3).
+  const Dtmc d(SparseMatrix::from_triplets(
+                   2, 2,
+                   {{0, 0, 0.5}, {0, 1, 0.5}, {1, 0, 0.25}, {1, 1, 0.75}}),
+               {1.0, 0.0});
+  const auto psi = d.stationary();
+  EXPECT_NEAR(psi[0], 1.0 / 3.0, 1e-6);
+  EXPECT_NEAR(psi[1], 2.0 / 3.0, 1e-6);
+}
+
+TEST(DtmcTest, StationaryHandlesPeriodicChains) {
+  // The 2-cycle is periodic: Cesàro averaging still gives (0.5, 0.5).
+  const Dtmc d(SparseMatrix::from_triplets(2, 2, {{0, 1, 1.0}, {1, 0, 1.0}}),
+               {1.0, 0.0});
+  const auto psi = d.stationary();
+  EXPECT_NEAR(psi[0], 0.5, 1e-6);
+  EXPECT_NEAR(psi[1], 0.5, 1e-6);
+}
+
+// --- embedded chain -----------------------------------------------------------
+
+TEST(Embedded, JumpProbabilities) {
+  Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(0, 2, 3.0);
+  const Dtmc d = embedded_dtmc(c);
+  const auto v = d.distribution_after(1);
+  EXPECT_NEAR(v[1], 0.25, 1e-12);
+  EXPECT_NEAR(v[2], 0.75, 1e-12);
+}
+
+TEST(Embedded, SojournWeightingRecoversCtmcSteadyState) {
+  // pi_CTMC(s) ∝ psi_embedded(s) / E(s) on an irreducible chain.
+  std::mt19937 rng(11);
+  std::uniform_real_distribution<double> rate(0.2, 4.0);
+  Ctmc c;
+  const std::size_t n = 6;
+  c.add_states(n);
+  for (MState s = 0; s < n; ++s) {
+    c.add_transition(s, (s + 1) % n, rate(rng));
+    c.add_transition(s, (s + 2) % n, rate(rng));
+  }
+  const auto pi = steady_state(c);
+  const auto psi = embedded_dtmc(c).stationary();
+  const auto exits = c.exit_rates();
+  std::vector<double> weighted(n);
+  double total = 0.0;
+  for (std::size_t s = 0; s < n; ++s) {
+    weighted[s] = psi[s] / exits[s];
+    total += weighted[s];
+  }
+  for (std::size_t s = 0; s < n; ++s) {
+    EXPECT_NEAR(weighted[s] / total, pi[s], 1e-5) << "state " << s;
+  }
+}
+
+// --- parser robustness: garbage never crashes -----------------------------------
+
+class FuzzSeed : public ::testing::TestWithParam<std::uint32_t> {};
+
+std::string random_garbage(std::uint32_t seed) {
+  static const char alphabet[] =
+      "abcXYZ01 ;:!?().,[]<>|&-+*/'\"\n\tprocessmunutt";
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<std::size_t> len(0, 60);
+  std::uniform_int_distribution<std::size_t> ch(0, sizeof(alphabet) - 2);
+  std::string s;
+  const std::size_t n = len(rng);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.push_back(alphabet[ch(rng)]);
+  }
+  return s;
+}
+
+TEST_P(FuzzSeed, FormulaParserThrowsCleanly) {
+  const std::string input = random_garbage(GetParam());
+  try {
+    (void)mc::parse_formula(input);
+  } catch (const mc::ParseError&) {
+    // expected for garbage
+  } catch (const std::invalid_argument&) {
+    // reserved-name style rejections are also acceptable
+  }
+}
+
+TEST_P(FuzzSeed, ProcParserThrowsCleanly) {
+  const std::string input = random_garbage(GetParam() + 1000);
+  try {
+    (void)proc::parse_program(input);
+  } catch (const proc::ProcParseError&) {
+  } catch (const std::invalid_argument&) {
+  }
+  try {
+    (void)proc::parse_behaviour(input);
+  } catch (const proc::ProcParseError&) {
+  } catch (const std::invalid_argument&) {
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Garbage, FuzzSeed, ::testing::Range(0u, 50u));
+
+}  // namespace

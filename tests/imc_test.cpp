@@ -1,0 +1,318 @@
+// Unit and integration tests for the imc/ module: composition, maximal
+// progress, lumping, CTMC extraction — the heart of the performance flow.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imc/compose.hpp"
+#include "imc/imc.hpp"
+#include "imc/lump.hpp"
+#include "markov/absorption.hpp"
+#include "markov/steady.hpp"
+
+namespace {
+
+using namespace multival;
+using namespace multival::imc;
+
+// --- basics -----------------------------------------------------------------
+
+TEST(ImcBasics, AddAndQuery) {
+  Imc m;
+  m.add_states(3);
+  m.add_interactive(0, "A", 1);
+  m.add_markovian(1, 2.5, 2, "work");
+  EXPECT_EQ(m.num_states(), 3u);
+  EXPECT_EQ(m.num_interactive(), 1u);
+  EXPECT_EQ(m.num_markovian(), 1u);
+  ASSERT_EQ(m.markovian(1).size(), 1u);
+  EXPECT_DOUBLE_EQ(m.markovian(1)[0].rate, 2.5);
+  EXPECT_EQ(m.markovian(1)[0].label, "work");
+}
+
+TEST(ImcBasics, RateValidated) {
+  Imc m;
+  m.add_states(2);
+  EXPECT_THROW(m.add_markovian(0, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(m.add_markovian(0, 1.0, 9), std::out_of_range);
+}
+
+TEST(ImcBasics, Stability) {
+  Imc m;
+  m.add_states(3);
+  m.add_interactive(0, "i", 1);
+  m.add_interactive(1, "A", 2);
+  EXPECT_FALSE(m.is_stable(0));      // tau
+  EXPECT_TRUE(m.is_stable(1));       // only visible
+  EXPECT_FALSE(m.is_markovian_only(1));
+  EXPECT_TRUE(m.is_markovian_only(2));
+}
+
+TEST(ImcBasics, FromLtsRoundTrip) {
+  lts::Lts l;
+  l.add_states(2);
+  l.add_transition(0, "A", 1);
+  l.add_transition(1, "i", 0);
+  const Imc m = Imc::from_lts(l);
+  EXPECT_EQ(m.num_interactive(), 2u);
+  EXPECT_EQ(m.num_markovian(), 0u);
+  const lts::Lts back = m.interactive_lts();
+  EXPECT_EQ(back.num_transitions(), 2u);
+  EXPECT_EQ(back.actions().name(back.out(1)[0].action), "i");
+}
+
+// --- composition ----------------------------------------------------------------
+
+TEST(ImcCompose, MarkovianInterleavesUnderSync) {
+  // Two pure-delay processes composed with full sync on gates: rates still
+  // interleave (memorylessness).
+  Imc a;
+  a.add_states(2);
+  a.add_markovian(0, 1.0, 1);
+  Imc b;
+  b.add_states(2);
+  b.add_markovian(0, 2.0, 1);
+  const std::vector<std::string> none{};
+  const Imc p = parallel(a, b, none);
+  EXPECT_EQ(p.num_states(), 4u);
+  EXPECT_EQ(p.num_markovian(), 4u);
+  ASSERT_EQ(p.markovian(p.initial_state()).size(), 2u);
+}
+
+TEST(ImcCompose, InteractiveSynchronises) {
+  Imc a;
+  a.add_states(2);
+  a.add_interactive(0, "GO", 1);
+  Imc b;
+  b.add_states(2);
+  b.add_interactive(0, "GO", 1);
+  const std::vector<std::string> sync{"GO"};
+  const Imc p = parallel(a, b, sync);
+  EXPECT_EQ(p.num_states(), 2u);
+  EXPECT_EQ(p.num_interactive(), 1u);
+}
+
+TEST(ImcCompose, HideAllKeepsExit) {
+  Imc m;
+  m.add_states(3);
+  m.add_interactive(0, "A", 1);
+  m.add_interactive(1, "exit", 2);
+  const Imc h = hide_all(m);
+  EXPECT_TRUE(lts::ActionTable::is_tau(h.interactive(0)[0].action));
+  EXPECT_TRUE(lts::ActionTable::is_exit(h.interactive(1)[0].action));
+}
+
+TEST(ImcCompose, MaximalProgressCutsRacesAtUnstableStates) {
+  Imc m;
+  m.add_states(3);
+  m.add_interactive(0, "i", 1);
+  m.add_markovian(0, 5.0, 2);  // loses the race against tau
+  m.add_markovian(1, 1.0, 2);  // stable state keeps its delay
+  const Imc mp = maximal_progress(m);
+  EXPECT_TRUE(mp.markovian(0).empty());
+  EXPECT_EQ(mp.markovian(1).size(), 1u);
+}
+
+TEST(ImcCompose, MaximalProgressKeepsVisibleRaces) {
+  // A visible action does not pre-empt delays (the environment may refuse it).
+  Imc m;
+  m.add_states(3);
+  m.add_interactive(0, "A", 1);
+  m.add_markovian(0, 5.0, 2);
+  const Imc mp = maximal_progress(m);
+  EXPECT_EQ(mp.markovian(0).size(), 1u);
+}
+
+TEST(ImcCompose, TrimDropsUnreachable) {
+  Imc m;
+  m.add_states(3);
+  m.add_markovian(0, 1.0, 0);
+  m.add_interactive(1, "A", 2);  // unreachable
+  const Imc t = trim(m);
+  EXPECT_EQ(t.num_states(), 1u);
+  EXPECT_EQ(t.num_interactive(), 0u);
+}
+
+// --- CTMC extraction -----------------------------------------------------------------
+
+TEST(Extract, PureMarkovianIsIdentity) {
+  Imc m;
+  m.add_states(2);
+  m.add_markovian(0, 2.0, 1, "go");
+  m.add_markovian(1, 1.0, 0);
+  const CtmcExtraction e = to_ctmc(m);
+  EXPECT_EQ(e.ctmc.num_states(), 2u);
+  EXPECT_EQ(e.ctmc.num_transitions(), 2u);
+  EXPECT_EQ(e.imc_state_of[0], 0u);
+}
+
+TEST(Extract, VanishingStateEliminated) {
+  // 0 -r-> 1 -tau-> 2: the tau state vanishes; CTMC is 0 -r-> 2.
+  Imc m;
+  m.add_states(3);
+  m.add_markovian(0, 3.0, 1, "hop");
+  m.add_interactive(1, "i", 2);
+  const CtmcExtraction e = to_ctmc(m);
+  EXPECT_EQ(e.ctmc.num_states(), 2u);  // states 0 and 2
+  ASSERT_EQ(e.ctmc.num_transitions(), 1u);
+  EXPECT_DOUBLE_EQ(e.ctmc.transitions()[0].rate, 3.0);
+  EXPECT_EQ(e.ctmc.transitions()[0].label, "hop");
+}
+
+TEST(Extract, NondeterminismRejectedByDefault) {
+  Imc m;
+  m.add_states(4);
+  m.add_markovian(0, 1.0, 1);
+  m.add_interactive(1, "i", 2);
+  m.add_interactive(1, "i", 3);
+  EXPECT_THROW((void)to_ctmc(m), NondeterminismError);
+}
+
+TEST(Extract, UniformPolicySplitsMass) {
+  Imc m;
+  m.add_states(4);
+  m.add_markovian(0, 2.0, 1);
+  m.add_interactive(1, "i", 2);
+  m.add_interactive(1, "i", 3);
+  const CtmcExtraction e = to_ctmc(m, NondetPolicy::kUniform);
+  // 0 -1-> 2 and 0 -1-> 3 (rate 2 split uniformly).
+  EXPECT_EQ(e.ctmc.num_transitions(), 2u);
+  for (const auto& t : e.ctmc.transitions()) {
+    EXPECT_DOUBLE_EQ(t.rate, 1.0);
+  }
+}
+
+TEST(Extract, InteractiveCycleIsTimelock) {
+  Imc m;
+  m.add_states(3);
+  m.add_markovian(0, 1.0, 1);
+  m.add_interactive(1, "i", 2);
+  m.add_interactive(2, "i", 1);
+  EXPECT_THROW((void)to_ctmc(m), TimelockError);
+}
+
+TEST(Extract, InitialStateResolved) {
+  // Initial state is vanishing: initial distribution lands on tangibles.
+  Imc m;
+  m.add_states(3);
+  m.add_interactive(0, "i", 1);
+  m.add_markovian(1, 1.0, 2);
+  const CtmcExtraction e = to_ctmc(m);
+  const auto pi0 = e.ctmc.initial_distribution();
+  EXPECT_DOUBLE_EQ(pi0[0], 1.0);  // ctmc state 0 = imc state 1
+  EXPECT_EQ(e.imc_state_of[0], 1u);
+}
+
+TEST(Extract, ChainOfVanishingStates) {
+  Imc m;
+  m.add_states(4);
+  m.add_markovian(0, 4.0, 1);
+  m.add_interactive(1, "i", 2);
+  m.add_interactive(2, "i", 3);
+  const CtmcExtraction e = to_ctmc(m);
+  ASSERT_EQ(e.ctmc.num_transitions(), 1u);
+  EXPECT_DOUBLE_EQ(e.ctmc.transitions()[0].rate, 4.0);
+}
+
+// --- lumping -----------------------------------------------------------------------
+
+TEST(Lump, AggregatesParallelRates) {
+  // Two rate-1 transitions into bisimilar states lump into rate 2.
+  Imc m;
+  m.add_states(3);
+  m.add_markovian(0, 1.0, 1);
+  m.add_markovian(0, 1.0, 2);
+  const auto r = minimize_imc(m);
+  EXPECT_EQ(r.quotient.num_states(), 2u);
+  ASSERT_EQ(r.quotient.markovian(r.quotient.initial_state()).size(), 1u);
+  EXPECT_DOUBLE_EQ(r.quotient.markovian(r.quotient.initial_state())[0].rate,
+                   2.0);
+}
+
+TEST(Lump, StrongDistinguishesRates) {
+  Imc m;
+  m.add_states(3);
+  m.add_markovian(0, 1.0, 2);
+  m.add_markovian(1, 2.0, 2);
+  const auto p = lump_strong(m);
+  EXPECT_NE(p.block_of(0), p.block_of(1));
+}
+
+TEST(Lump, StrongMergesEqualRates) {
+  Imc m;
+  m.add_states(4);
+  m.add_markovian(0, 1.5, 2);
+  m.add_markovian(1, 1.5, 3);
+  const auto p = lump_strong(m);
+  EXPECT_EQ(p.block_of(0), p.block_of(1));
+  EXPECT_EQ(p.block_of(2), p.block_of(3));
+}
+
+TEST(Lump, BranchingCollapsesInertTau) {
+  // 0 -tau-> 1, 1 -r-> 2: after lumping, 0 ~ 1 (the tau takes no time).
+  Imc m;
+  m.add_states(3);
+  m.add_interactive(0, "i", 1);
+  m.add_markovian(1, 2.0, 2);
+  const auto r = minimize_imc(m);
+  EXPECT_EQ(r.partition.block_of(0), r.partition.block_of(1));
+  EXPECT_EQ(r.quotient.num_states(), 2u);
+  // The quotient is now a pure CTMC.
+  const CtmcExtraction e = to_ctmc(r.quotient);
+  EXPECT_EQ(e.ctmc.num_states(), 2u);
+  EXPECT_DOUBLE_EQ(e.ctmc.transitions()[0].rate, 2.0);
+}
+
+TEST(Lump, VisibleActionsBlockMerging) {
+  Imc m;
+  m.add_states(3);
+  m.add_interactive(0, "A", 2);
+  m.add_interactive(1, "B", 2);
+  const auto p = lump_strong(m);
+  EXPECT_NE(p.block_of(0), p.block_of(1));
+}
+
+TEST(Lump, InitialPartitionRespected) {
+  // Identical states forced apart by a reward-compatible initial partition.
+  Imc m;
+  m.add_states(2);
+  m.add_markovian(0, 1.0, 0);
+  m.add_markovian(1, 1.0, 1);
+  const bisim::Partition same(2);
+  EXPECT_EQ(lump_strong(m, same).num_blocks(), 1u);
+  const bisim::Partition split({0, 1}, 2);
+  EXPECT_EQ(lump_strong(m, split).num_blocks(), 2u);
+}
+
+TEST(Lump, QuotientPreservesSteadyState) {
+  // A symmetric 4-state chain and its 2-state lump have matching measures.
+  Imc m;
+  m.add_states(4);
+  // Two "up" states {0,1} and two "down" states {2,3}, symmetric rates.
+  m.add_markovian(0, 1.0, 2, "down");
+  m.add_markovian(1, 1.0, 3, "down");
+  m.add_markovian(2, 3.0, 0, "up");
+  m.add_markovian(3, 3.0, 1, "up");
+  const auto lumped = minimize_imc(m);
+  EXPECT_EQ(lumped.quotient.num_states(), 2u);
+  const auto full = to_ctmc(m);
+  const auto small = to_ctmc(lumped.quotient);
+  const auto pi_full = markov::steady_state(full.ctmc);
+  const auto pi_small = markov::steady_state(small.ctmc);
+  EXPECT_NEAR(markov::throughput(full.ctmc, pi_full, "down"),
+              markov::throughput(small.ctmc, pi_small, "down"), 1e-9);
+}
+
+TEST(Lump, ErlangChainDoesNotCollapse) {
+  // Distinct stages of an Erlang chain are NOT lumpable (different time to
+  // absorption).
+  Imc m;
+  m.add_states(4);
+  m.add_markovian(0, 1.0, 1);
+  m.add_markovian(1, 1.0, 2);
+  m.add_markovian(2, 1.0, 3);
+  const auto p = lump_branching(m);
+  EXPECT_EQ(p.num_blocks(), 4u);
+}
+
+}  // namespace

@@ -1,0 +1,441 @@
+// Unit and property tests for the markov/ module, cross-checked against
+// closed-form results (two-state chains, birth-death chains, Erlang).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "markov/absorption.hpp"
+#include "markov/ctmc.hpp"
+#include "markov/sparse.hpp"
+#include "markov/steady.hpp"
+#include "markov/transient.hpp"
+
+namespace {
+
+using namespace multival::markov;
+
+// --- SparseMatrix -----------------------------------------------------------
+
+TEST(Sparse, FromTripletsSumsDuplicates) {
+  const SparseMatrix m = SparseMatrix::from_triplets(
+      2, 2, {{0, 1, 1.0}, {0, 1, 2.0}, {1, 0, 5.0}});
+  EXPECT_EQ(m.num_nonzeros(), 2u);
+  ASSERT_EQ(m.row(0).size(), 1u);
+  EXPECT_DOUBLE_EQ(m.row(0)[0].value, 3.0);
+  EXPECT_EQ(m.row(0)[0].col, 1u);
+}
+
+TEST(Sparse, OutOfRangeTripletThrows) {
+  EXPECT_THROW((void)SparseMatrix::from_triplets(1, 1, {{0, 2, 1.0}}),
+               std::out_of_range);
+}
+
+TEST(Sparse, MultiplyLeftAndRight) {
+  // [[0,2],[3,0]]
+  const SparseMatrix m =
+      SparseMatrix::from_triplets(2, 2, {{0, 1, 2.0}, {1, 0, 3.0}});
+  const std::vector<double> x{1.0, 10.0};
+  const auto left = m.multiply_left(x);  // x*M = [30, 2]
+  EXPECT_DOUBLE_EQ(left[0], 30.0);
+  EXPECT_DOUBLE_EQ(left[1], 2.0);
+  const auto right = m.multiply_right(x);  // M*x = [20, 3]
+  EXPECT_DOUBLE_EQ(right[0], 20.0);
+  EXPECT_DOUBLE_EQ(right[1], 3.0);
+}
+
+TEST(Sparse, MultiplySizeChecked) {
+  const SparseMatrix m = SparseMatrix::from_triplets(2, 3, {{0, 0, 1.0}});
+  const std::vector<double> bad{1.0};
+  EXPECT_THROW((void)m.multiply_left(bad), std::invalid_argument);
+  EXPECT_THROW((void)m.multiply_right(bad), std::invalid_argument);
+}
+
+TEST(Sparse, Transpose) {
+  const SparseMatrix m =
+      SparseMatrix::from_triplets(2, 3, {{0, 2, 4.0}, {1, 0, 5.0}});
+  const SparseMatrix t = m.transpose();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(t.num_cols(), 2u);
+  ASSERT_EQ(t.row(2).size(), 1u);
+  EXPECT_DOUBLE_EQ(t.row(2)[0].value, 4.0);
+  EXPECT_EQ(t.row(2)[0].col, 0u);
+}
+
+// --- Ctmc basics -------------------------------------------------------------
+
+TEST(CtmcTest, RatesValidated) {
+  Ctmc c;
+  c.add_states(2);
+  EXPECT_THROW(c.add_transition(0, 1, 0.0), std::invalid_argument);
+  EXPECT_THROW(c.add_transition(0, 1, -1.0), std::invalid_argument);
+  EXPECT_THROW(c.add_transition(0, 5, 1.0), std::out_of_range);
+}
+
+TEST(CtmcTest, ExitRates) {
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, 2.0);
+  c.add_transition(0, 1, 3.0);
+  const auto e = c.exit_rates();
+  EXPECT_DOUBLE_EQ(e[0], 5.0);
+  EXPECT_DOUBLE_EQ(e[1], 0.0);
+  EXPECT_FALSE(c.is_absorbing(0));
+  EXPECT_TRUE(c.is_absorbing(1));
+}
+
+TEST(CtmcTest, InitialDistribution) {
+  Ctmc c;
+  c.add_states(3);
+  c.set_initial_state(2);
+  const auto pi0 = c.initial_distribution();
+  EXPECT_DOUBLE_EQ(pi0[2], 1.0);
+  c.set_initial_distribution({0.5, 0.5, 0.0});
+  EXPECT_DOUBLE_EQ(c.initial_distribution()[0], 0.5);
+  EXPECT_THROW(c.set_initial_distribution({1.0}), std::invalid_argument);
+  EXPECT_THROW(c.set_initial_distribution({0.4, 0.4, 0.4}),
+               std::invalid_argument);
+}
+
+TEST(CtmcTest, UniformizedDtmcRowsSumToOne) {
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, 4.0);
+  c.add_transition(1, 0, 1.0);
+  double lambda = 0.0;
+  const SparseMatrix p = c.uniformized_dtmc(lambda);
+  EXPECT_GE(lambda, 4.0);
+  for (std::size_t r = 0; r < 2; ++r) {
+    double sum = 0.0;
+    for (const Entry& e : p.row(r)) {
+      sum += e.value;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+// --- steady state ---------------------------------------------------------------
+
+TEST(Steady, TwoStateChain) {
+  // 0 -a-> 1, 1 -b-> 0: pi = (b, a)/(a+b).
+  const double a = 3.0;
+  const double b = 1.0;
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, a);
+  c.add_transition(1, 0, b);
+  const auto pi = steady_state(c);
+  EXPECT_NEAR(pi[0], b / (a + b), 1e-9);
+  EXPECT_NEAR(pi[1], a / (a + b), 1e-9);
+}
+
+TEST(Steady, BirthDeathMatchesGeometric) {
+  // M/M/1/4 with lambda=1, mu=2: pi_i = rho^i * (1-rho)/(1-rho^5).
+  const double lambda = 1.0;
+  const double mu = 2.0;
+  const int k = 4;
+  Ctmc c;
+  c.add_states(k + 1);
+  for (int i = 0; i < k; ++i) {
+    c.add_transition(i, i + 1, lambda);
+    c.add_transition(i + 1, i, mu);
+  }
+  const auto pi = steady_state(c);
+  const double rho = lambda / mu;
+  const double norm = (1 - rho) / (1 - std::pow(rho, k + 1));
+  for (int i = 0; i <= k; ++i) {
+    EXPECT_NEAR(pi[i], std::pow(rho, i) * norm, 1e-9) << "state " << i;
+  }
+}
+
+TEST(Steady, SumsToOne) {
+  Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(1, 2, 2.0);
+  c.add_transition(2, 0, 3.0);
+  const auto pi = steady_state(c);
+  double sum = 0.0;
+  for (const double p : pi) {
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(Steady, SelfLoopsAreNeutral) {
+  Ctmc a;
+  a.add_states(2);
+  a.add_transition(0, 1, 2.0);
+  a.add_transition(1, 0, 1.0);
+  Ctmc b = a;
+  b.add_transition(0, 0, 5.0);  // self-loop must not change steady state
+  const auto pa = steady_state(a);
+  const auto pb = steady_state(b);
+  EXPECT_NEAR(pa[0], pb[0], 1e-9);
+}
+
+TEST(Steady, ReducibleChainSplitsMassAcrossBsccs) {
+  // 0 -1-> 1 (absorbing), 0 -3-> 2 (absorbing): mass 1/4 and 3/4.
+  Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(0, 2, 3.0);
+  const auto pi = steady_state(c);
+  EXPECT_NEAR(pi[0], 0.0, 1e-12);
+  EXPECT_NEAR(pi[1], 0.25, 1e-9);
+  EXPECT_NEAR(pi[2], 0.75, 1e-9);
+}
+
+TEST(Steady, BsccDecomposition) {
+  Ctmc c;
+  c.add_states(4);
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(1, 2, 1.0);
+  c.add_transition(2, 1, 1.0);  // {1,2} bottom
+  c.add_transition(0, 3, 1.0);  // {3} bottom (absorbing)
+  const auto d = bscc_decomposition(c);
+  EXPECT_EQ(d.component_of[1], d.component_of[2]);
+  EXPECT_FALSE(d.is_bottom[d.component_of[0]]);
+  EXPECT_TRUE(d.is_bottom[d.component_of[1]]);
+  EXPECT_TRUE(d.is_bottom[d.component_of[3]]);
+}
+
+TEST(Steady, ReachabilityProbability) {
+  // Fair race: 0 goes to 1 or 2 with equal rate; target {1}.
+  Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 2.0);
+  c.add_transition(0, 2, 2.0);
+  const auto h = reachability_probability(c, {false, true, false});
+  EXPECT_NEAR(h[0], 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(h[1], 1.0);
+  EXPECT_DOUBLE_EQ(h[2], 0.0);
+}
+
+TEST(Steady, EmptyChain) {
+  Ctmc c;
+  EXPECT_TRUE(steady_state(c).empty());
+}
+
+// --- rewards & throughput ----------------------------------------------------------
+
+TEST(Rewards, ExpectedReward) {
+  const std::vector<double> pi{0.25, 0.75};
+  const std::vector<double> r{4.0, 8.0};
+  EXPECT_DOUBLE_EQ(expected_reward(pi, r), 7.0);
+}
+
+TEST(Rewards, ThroughputByLabel) {
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, 3.0, "serve");
+  c.add_transition(1, 0, 1.0, "arrive");
+  const auto pi = steady_state(c);
+  // Flow balance: throughput(serve) == throughput(arrive).
+  EXPECT_NEAR(throughput(c, pi, "serve"), throughput(c, pi, "arrive"), 1e-9);
+  EXPECT_NEAR(throughput(c, pi, "serve"), pi[0] * 3.0, 1e-12);
+  EXPECT_NEAR(throughput(c, pi, "*"), pi[0] * 3.0 + pi[1] * 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(throughput(c, pi, "nothing"), 0.0);
+}
+
+// --- transient ------------------------------------------------------------------------
+
+TEST(Transient, PoissonWeightsNormalised) {
+  for (const double lt : {0.0, 0.5, 3.0, 50.0, 400.0}) {
+    const PoissonWeights w = poisson_weights(lt);
+    double sum = 0.0;
+    double mean = 0.0;
+    for (std::size_t k = 0; k < w.weights.size(); ++k) {
+      sum += w.weights[k];
+      mean += static_cast<double>(w.left + k) * w.weights[k];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12) << "lambda*t = " << lt;
+    EXPECT_NEAR(mean, lt, 1e-6 * (1.0 + lt)) << "lambda*t = " << lt;
+  }
+}
+
+TEST(Transient, TwoStateClosedForm) {
+  // P(X(t)=1 | X(0)=0) = a/(a+b) * (1 - exp(-(a+b)t)).
+  const double a = 2.0;
+  const double b = 0.5;
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, a);
+  c.add_transition(1, 0, b);
+  for (const double t : {0.1, 0.5, 1.0, 3.0}) {
+    const auto pi = transient_distribution(c, t);
+    const double expect = a / (a + b) * (1.0 - std::exp(-(a + b) * t));
+    EXPECT_NEAR(pi[1], expect, 1e-9) << "t = " << t;
+  }
+}
+
+TEST(Transient, TimeZeroIsInitial) {
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, 1.0);
+  const auto pi = transient_distribution(c, 0.0);
+  EXPECT_DOUBLE_EQ(pi[0], 1.0);
+}
+
+TEST(Transient, ConvergesToSteadyState) {
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(1, 0, 2.0);
+  const auto pi_t = transient_distribution(c, 200.0);
+  const auto pi = steady_state(c);
+  EXPECT_NEAR(pi_t[0], pi[0], 1e-8);
+}
+
+TEST(Transient, SetProbability) {
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, 1.0);
+  const double p = transient_probability(c, {false, true}, 1.0);
+  EXPECT_NEAR(p, 1.0 - std::exp(-1.0), 1e-9);
+}
+
+TEST(Transient, NegativeTimeThrows) {
+  Ctmc c;
+  c.add_state();
+  EXPECT_THROW((void)transient_distribution(c, -1.0), std::invalid_argument);
+}
+
+// --- absorption ------------------------------------------------------------------------
+
+TEST(Absorption, ErlangChain) {
+  // 0 -r-> 1 -r-> 2 (absorbing): expected time = 2/r.
+  const double r = 4.0;
+  Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, r);
+  c.add_transition(1, 2, r);
+  const auto t = expected_time_to_absorption(c);
+  EXPECT_NEAR(t[0], 2.0 / r, 1e-9);
+  EXPECT_NEAR(t[1], 1.0 / r, 1e-9);
+  EXPECT_DOUBLE_EQ(t[2], 0.0);
+  EXPECT_NEAR(expected_absorption_time_from_initial(c), 2.0 / r, 1e-9);
+}
+
+TEST(Absorption, BranchingChain) {
+  // 0 branches: to absorbing 1 (rate 1) or to 2 (rate 1), 2 -2-> 1.
+  // E[T] = 1/2 (sojourn at 0) + 1/2 * E[via 2] where E[via2] adds 1/2.
+  Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(0, 2, 1.0);
+  c.add_transition(2, 1, 2.0);
+  const auto t = expected_time_to_absorption(c);
+  EXPECT_NEAR(t[0], 0.5 + 0.5 * 0.5, 1e-9);
+}
+
+TEST(Absorption, UnreachableAbsorptionIsInfinite) {
+  Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(1, 0, 1.0);  // {0,1} recurrent, 2 isolated absorbing
+  const auto t = expected_time_to_absorption(c);
+  EXPECT_TRUE(std::isinf(t[0]));
+  EXPECT_TRUE(std::isinf(t[1]));
+  EXPECT_DOUBLE_EQ(t[2], 0.0);
+}
+
+TEST(Absorption, MeanFirstPassage) {
+  // Cycle 0->1->2->0 with rate 1; time from 0 to first hit 2 is 2.
+  Ctmc c;
+  c.add_states(3);
+  c.add_transition(0, 1, 1.0);
+  c.add_transition(1, 2, 1.0);
+  c.add_transition(2, 0, 1.0);
+  const auto t = mean_first_passage_time(c, {false, false, true});
+  EXPECT_NEAR(t[0], 2.0, 1e-9);
+  EXPECT_NEAR(t[1], 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(t[2], 0.0);
+}
+
+TEST(Absorption, ProbabilityByTime) {
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, 2.0);
+  EXPECT_NEAR(absorption_probability_by(c, 1.0), 1.0 - std::exp(-2.0), 1e-9);
+  EXPECT_NEAR(absorption_probability_by(c, 0.0), 0.0, 1e-12);
+}
+
+TEST(Absorption, QuantileExponentialClosedForm) {
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, 2.0);
+  for (const double q : {0.5, 0.9, 0.99}) {
+    EXPECT_NEAR(absorption_time_quantile(c, q), -std::log(1.0 - q) / 2.0,
+                1e-6)
+        << q;
+  }
+}
+
+TEST(Absorption, QuantileMonotoneInQ) {
+  Ctmc c;
+  c.add_states(4);
+  for (int i = 0; i < 3; ++i) {
+    c.add_transition(i, i + 1, 1.5);
+  }
+  const double p50 = absorption_time_quantile(c, 0.5);
+  const double p95 = absorption_time_quantile(c, 0.95);
+  const double p99 = absorption_time_quantile(c, 0.99);
+  EXPECT_LT(p50, p95);
+  EXPECT_LT(p95, p99);
+  // Mean lies between median and p99 for this right-skewed distribution.
+  const double mean = expected_absorption_time_from_initial(c);
+  EXPECT_GT(mean, p50 * 0.8);
+  EXPECT_LT(mean, p99);
+}
+
+TEST(Absorption, QuantileValidation) {
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, 1.0);
+  EXPECT_THROW((void)absorption_time_quantile(c, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)absorption_time_quantile(c, 1.0), std::invalid_argument);
+  Ctmc loop;
+  loop.add_states(2);
+  loop.add_transition(0, 1, 1.0);
+  loop.add_transition(1, 0, 1.0);
+  EXPECT_THROW((void)absorption_time_quantile(loop, 0.5), SolverFailure);
+}
+
+// --- property sweep: birth-death chains ----------------------------------------------
+
+struct BdParam {
+  double lambda;
+  double mu;
+  int capacity;
+};
+
+class BirthDeathProperty : public ::testing::TestWithParam<BdParam> {};
+
+TEST_P(BirthDeathProperty, SolverMatchesClosedForm) {
+  const auto [lambda, mu, k] = GetParam();
+  Ctmc c;
+  c.add_states(k + 1);
+  for (int i = 0; i < k; ++i) {
+    c.add_transition(i, i + 1, lambda, "arrive");
+    c.add_transition(i + 1, i, mu, "serve");
+  }
+  const auto pi = steady_state(c);
+  const double rho = lambda / mu;
+  double norm = 0.0;
+  for (int i = 0; i <= k; ++i) {
+    norm += std::pow(rho, i);
+  }
+  for (int i = 0; i <= k; ++i) {
+    EXPECT_NEAR(pi[i], std::pow(rho, i) / norm, 1e-8);
+  }
+  // Effective throughput identity: accepted arrivals == services.
+  EXPECT_NEAR(throughput(c, pi, "arrive"), throughput(c, pi, "serve"), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Loads, BirthDeathProperty,
+    ::testing::Values(BdParam{0.5, 1.0, 3}, BdParam{1.0, 1.0, 5},
+                      BdParam{2.0, 1.0, 4}, BdParam{0.9, 1.1, 8},
+                      BdParam{5.0, 1.0, 2}, BdParam{0.1, 2.0, 6}));
+
+}  // namespace

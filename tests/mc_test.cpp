@@ -1,0 +1,288 @@
+// Unit and property tests for the mc/ module (mu-calculus model checking).
+#include <gtest/gtest.h>
+
+#include "lts/lts.hpp"
+#include "mc/evaluator.hpp"
+#include "mc/formula.hpp"
+#include "mc/properties.hpp"
+
+namespace {
+
+using namespace multival;
+using namespace multival::mc;
+using lts::Lts;
+
+// --- glob matching -----------------------------------------------------------
+
+TEST(Glob, ExactMatch) {
+  EXPECT_TRUE(glob_match("PUSH", "PUSH"));
+  EXPECT_FALSE(glob_match("PUSH", "POP"));
+  EXPECT_FALSE(glob_match("PUSH", "PUSH !1"));
+}
+
+TEST(Glob, StarMatchesRuns) {
+  EXPECT_TRUE(glob_match("PUSH*", "PUSH !1 !2"));
+  EXPECT_TRUE(glob_match("PUSH*", "PUSH"));
+  EXPECT_TRUE(glob_match("*!2", "PUSH !1 !2"));
+  EXPECT_TRUE(glob_match("P*H*", "PUSH !9"));
+  EXPECT_FALSE(glob_match("POP*", "PUSH"));
+}
+
+TEST(Glob, QuestionMatchesOneChar) {
+  EXPECT_TRUE(glob_match("L?", "L1"));
+  EXPECT_FALSE(glob_match("L?", "L12"));
+}
+
+TEST(Glob, EmptyCases) {
+  EXPECT_TRUE(glob_match("", ""));
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_FALSE(glob_match("?", ""));
+}
+
+// --- action formulas -----------------------------------------------------------
+
+TEST(ActionFormulas, Basic) {
+  EXPECT_TRUE(act_any()->matches("A", false));
+  EXPECT_TRUE(act_any()->matches("i", true));
+  EXPECT_TRUE(act_tau()->matches("i", true));
+  EXPECT_FALSE(act_tau()->matches("A", false));
+  EXPECT_TRUE(act_visible()->matches("A", false));
+  EXPECT_FALSE(act_visible()->matches("i", true));
+}
+
+TEST(ActionFormulas, GlobNeverMatchesTau) {
+  // Even the pattern "i" denotes a visible label, not tau.
+  EXPECT_FALSE(act("i")->matches("i", true));
+  EXPECT_FALSE(act("*")->matches("i", true));
+}
+
+TEST(ActionFormulas, BooleanCombinators) {
+  const auto f = act_and(act("PUSH*"), act_not(act("PUSH !0*")));
+  EXPECT_TRUE(f->matches("PUSH !1", false));
+  EXPECT_FALSE(f->matches("PUSH !0", false));
+  const auto g = act_or(act("A"), act("B"));
+  EXPECT_TRUE(g->matches("B", false));
+  EXPECT_FALSE(g->matches("C", false));
+}
+
+TEST(ActionFormulas, ToString) {
+  EXPECT_EQ(act_or(act_tau(), act("A*"))->to_string(), "(tau | 'A*')");
+}
+
+// --- StateSet -------------------------------------------------------------------
+
+TEST(StateSetTest, InsertContainsErase) {
+  StateSet s(130);
+  EXPECT_FALSE(s.contains(0));
+  s.insert(0);
+  s.insert(64);
+  s.insert(129);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(64));
+  EXPECT_TRUE(s.contains(129));
+  EXPECT_EQ(s.count(), 3u);
+  s.erase(64);
+  EXPECT_FALSE(s.contains(64));
+  EXPECT_EQ(s.count(), 2u);
+}
+
+TEST(StateSetTest, FillAndComplementRespectSize) {
+  StateSet s(70);
+  s.fill();
+  EXPECT_EQ(s.count(), 70u);
+  s.complement();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(StateSetTest, SetOperations) {
+  StateSet a(10);
+  StateSet b(10);
+  a.insert(1);
+  a.insert(2);
+  b.insert(2);
+  b.insert(3);
+  StateSet i = a;
+  i &= b;
+  EXPECT_EQ(i.count(), 1u);
+  EXPECT_TRUE(i.contains(2));
+  StateSet u = a;
+  u |= b;
+  EXPECT_EQ(u.count(), 3u);
+}
+
+TEST(StateSetTest, Members) {
+  StateSet s(5);
+  s.insert(4);
+  s.insert(1);
+  const auto m = s.members();
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_EQ(m[0], 1u);
+  EXPECT_EQ(m[1], 4u);
+}
+
+// --- evaluator -------------------------------------------------------------------
+
+// 0 -A-> 1 -B-> 2 (deadlock), 0 -i-> 2.
+Lts diamond_lts() {
+  Lts l;
+  l.add_states(3);
+  l.add_transition(0, "A", 1);
+  l.add_transition(1, "B", 2);
+  l.add_transition(0, "i", 2);
+  return l;
+}
+
+TEST(Evaluator, TrueFalse) {
+  const Lts l = diamond_lts();
+  EXPECT_EQ(evaluate(l, f_true()).count(), 3u);
+  EXPECT_EQ(evaluate(l, f_false()).count(), 0u);
+}
+
+TEST(Evaluator, DiamondAndBox) {
+  const Lts l = diamond_lts();
+  const StateSet can_a = evaluate(l, dia(act("A"), f_true()));
+  EXPECT_TRUE(can_a.contains(0));
+  EXPECT_FALSE(can_a.contains(1));
+  // Box is vacuously true on states without matching transitions.
+  const StateSet all_a_to_false = evaluate(l, box(act("A"), f_false()));
+  EXPECT_FALSE(all_a_to_false.contains(0));
+  EXPECT_TRUE(all_a_to_false.contains(1));
+  EXPECT_TRUE(all_a_to_false.contains(2));
+}
+
+TEST(Evaluator, NotOnClosedFormula) {
+  const Lts l = diamond_lts();
+  const StateSet s = evaluate(l, f_not(dia(act("A"), f_true())));
+  EXPECT_FALSE(s.contains(0));
+  EXPECT_TRUE(s.contains(1));
+}
+
+TEST(Evaluator, NotOnOpenFormulaThrows) {
+  const Lts l = diamond_lts();
+  const auto bad = mu("X", f_not(var("X")));
+  EXPECT_THROW((void)evaluate(l, bad), std::invalid_argument);
+}
+
+TEST(Evaluator, FreeVariableThrows) {
+  const Lts l = diamond_lts();
+  EXPECT_THROW((void)evaluate(l, var("X")), std::invalid_argument);
+  EXPECT_THROW((void)evaluate(l, nullptr), std::invalid_argument);
+}
+
+TEST(Evaluator, MuReachability) {
+  const Lts l = diamond_lts();
+  // mu X. <B>tt || <any>X : can eventually do B.
+  const auto f = can_do(act("B"));
+  const StateSet s = evaluate(l, f);
+  EXPECT_TRUE(s.contains(0));
+  EXPECT_TRUE(s.contains(1));
+  EXPECT_FALSE(s.contains(2));
+}
+
+TEST(Evaluator, NuInvariant) {
+  Lts l;
+  l.add_states(2);
+  l.add_transition(0, "A", 0);
+  l.add_transition(0, "B", 1);
+  // nu X. <any>tt && [any]X fails at 0 because state 1 deadlocks.
+  EXPECT_FALSE(check(l, deadlock_freedom()));
+  Lts m;
+  m.add_states(1);
+  m.add_transition(0, "A", 0);
+  EXPECT_TRUE(check(m, deadlock_freedom()));
+}
+
+TEST(Evaluator, EmptyLtsChecksTrue) {
+  Lts l;
+  EXPECT_TRUE(check(l, deadlock_freedom()));
+}
+
+// --- canned properties ----------------------------------------------------------
+
+TEST(Properties, Inevitable) {
+  // 0 -A-> 1 -B-> 0 : B inevitable from everywhere.
+  Lts l;
+  l.add_states(2);
+  l.add_transition(0, "A", 1);
+  l.add_transition(1, "B", 0);
+  EXPECT_TRUE(check(l, inevitable(act("B"))));
+  // Add an escape loop avoiding B: inevitability breaks.
+  l.add_transition(0, "C", 0);
+  EXPECT_FALSE(check(l, inevitable(act("B"))));
+}
+
+TEST(Properties, InevitableFalsifiedByDeadlock) {
+  Lts l;
+  l.add_states(2);
+  l.add_transition(0, "A", 1);  // deadlock before doing B
+  EXPECT_FALSE(check(l, inevitable(act("B"))));
+}
+
+TEST(Properties, Never) {
+  Lts l;
+  l.add_states(2);
+  l.add_transition(0, "GOOD", 1);
+  l.add_transition(1, "GOOD", 0);
+  EXPECT_TRUE(check(l, never(act("BAD*"))));
+  l.add_transition(1, "BAD !1", 0);
+  EXPECT_FALSE(check(l, never(act("BAD*"))));
+}
+
+TEST(Properties, Response) {
+  // REQ then always eventually ACK.
+  Lts l;
+  l.add_states(2);
+  l.add_transition(0, "REQ", 1);
+  l.add_transition(1, "ACK", 0);
+  EXPECT_TRUE(check(l, response(act("REQ"), act("ACK"))));
+  // A REQ that can loop forever without ACK violates response.
+  Lts m;
+  m.add_states(2);
+  m.add_transition(0, "REQ", 1);
+  m.add_transition(1, "WORK", 1);
+  m.add_transition(1, "ACK", 0);
+  EXPECT_FALSE(check(m, response(act("REQ"), act("ACK"))));
+}
+
+TEST(Properties, StandardBattery) {
+  Lts l;
+  l.add_states(2);
+  l.add_transition(0, "A", 1);
+  l.add_transition(1, "B", 0);
+  const auto results = standard_battery(
+      l, {{"can do B", can_do(act("B"))}, {"never C", never(act("C"))}});
+  ASSERT_EQ(results.size(), 4u);
+  EXPECT_EQ(results[0].name, "deadlock freedom");
+  EXPECT_TRUE(results[0].holds);
+  EXPECT_TRUE(results[1].holds);  // livelock freedom
+  EXPECT_TRUE(results[2].holds);
+  EXPECT_TRUE(results[3].holds);
+}
+
+TEST(Properties, StandardBatteryFindsDefects) {
+  Lts l;
+  l.add_states(3);
+  l.add_transition(0, "A", 1);  // 1 deadlocks
+  l.add_transition(0, "i", 2);
+  l.add_transition(2, "i", 2);  // livelock
+  const auto results = standard_battery(l);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].holds);
+  EXPECT_FALSE(results[1].holds);
+  EXPECT_NE(results[0].detail.find("deadlock"), std::string::npos);
+}
+
+TEST(Properties, FormulaToStringIsReadable) {
+  const auto f = deadlock_freedom();
+  EXPECT_EQ(f->to_string(), "nu X. (<any> tt && [any] X)");
+}
+
+TEST(Properties, FreeVars) {
+  const auto open = f_and(var("X"), mu("Y", var("Y")));
+  const auto fv = open->free_vars();
+  ASSERT_EQ(fv.size(), 1u);
+  EXPECT_EQ(fv[0], "X");
+  EXPECT_TRUE(deadlock_freedom()->free_vars().empty());
+}
+
+}  // namespace

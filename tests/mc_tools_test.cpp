@@ -1,0 +1,304 @@
+// Tests for the property parser, diagnostic traces, and weak-trace
+// equivalence.
+#include <gtest/gtest.h>
+
+#include "bisim/equivalence.hpp"
+#include "bisim/trace.hpp"
+#include "mc/diagnostic.hpp"
+#include "mc/evaluator.hpp"
+#include "mc/parser.hpp"
+#include "mc/properties.hpp"
+
+namespace {
+
+using namespace multival;
+using namespace multival::mc;
+using lts::Lts;
+
+// --- parser: action formulas ---------------------------------------------------
+
+TEST(ParserAction, Atoms) {
+  EXPECT_TRUE(parse_action_formula("any")->matches("X", false));
+  EXPECT_TRUE(parse_action_formula("tau")->matches("i", true));
+  EXPECT_FALSE(parse_action_formula("visible")->matches("i", true));
+  EXPECT_TRUE(parse_action_formula("'PUSH*'")->matches("PUSH !1", false));
+  EXPECT_TRUE(parse_action_formula("\"POP\"")->matches("POP", false));
+}
+
+TEST(ParserAction, Combinators) {
+  const auto a = parse_action_formula("'A*' & !'A !0'");
+  EXPECT_TRUE(a->matches("A !1", false));
+  EXPECT_FALSE(a->matches("A !0", false));
+  const auto b = parse_action_formula("tau | 'B'");
+  EXPECT_TRUE(b->matches("i", true));
+  EXPECT_TRUE(b->matches("B", false));
+  EXPECT_FALSE(b->matches("C", false));
+}
+
+TEST(ParserAction, Parentheses) {
+  const auto a = parse_action_formula("!( 'A' | 'B' )");
+  EXPECT_FALSE(a->matches("A", false));
+  EXPECT_TRUE(a->matches("C", false));
+}
+
+TEST(ParserAction, Errors) {
+  EXPECT_THROW((void)parse_action_formula(""), ParseError);
+  EXPECT_THROW((void)parse_action_formula("'unterminated"), ParseError);
+  EXPECT_THROW((void)parse_action_formula("any extra"), ParseError);
+}
+
+// --- parser: state formulas -------------------------------------------------------
+
+Lts diamond_lts() {
+  Lts l;
+  l.add_states(3);
+  l.add_transition(0, "A", 1);
+  l.add_transition(1, "B", 2);
+  l.add_transition(0, "i", 2);
+  return l;
+}
+
+TEST(ParserState, Constants) {
+  const Lts l = diamond_lts();
+  EXPECT_EQ(evaluate(l, parse_formula("tt")).count(), 3u);
+  EXPECT_EQ(evaluate(l, parse_formula("ff")).count(), 0u);
+}
+
+TEST(ParserState, Modalities) {
+  const Lts l = diamond_lts();
+  const auto can_a = evaluate(l, parse_formula("<'A'> tt"));
+  EXPECT_TRUE(can_a.contains(0));
+  EXPECT_FALSE(can_a.contains(1));
+  const auto box_b = evaluate(l, parse_formula("['B'] ff"));
+  EXPECT_FALSE(box_b.contains(1));
+  EXPECT_TRUE(box_b.contains(0));
+}
+
+TEST(ParserState, DeadlockFreedomMatchesBuilder) {
+  const auto parsed = parse_formula("nu X. (<any> tt && [any] X)");
+  Lts live;
+  live.add_states(1);
+  live.add_transition(0, "A", 0);
+  EXPECT_TRUE(check(live, parsed));
+  EXPECT_EQ(check(live, parsed), check(live, deadlock_freedom()));
+  Lts dead;
+  dead.add_states(2);
+  dead.add_transition(0, "A", 1);
+  EXPECT_FALSE(check(dead, parsed));
+}
+
+TEST(ParserState, FixpointsAndPrecedence) {
+  // mu X. (<'B'> tt || <any> X) — reachability of B.
+  const Lts l = diamond_lts();
+  const auto f = parse_formula("mu X. (<'B'> tt || <any> X)");
+  const auto sat = evaluate(l, f);
+  EXPECT_TRUE(sat.contains(0));
+  EXPECT_TRUE(sat.contains(1));
+  EXPECT_FALSE(sat.contains(2));
+}
+
+TEST(ParserState, NestedFixpoints) {
+  // Response: nu X. ([ 'REQ' ] mu Y. (<any> tt && [ !'ACK' ] Y) && [any] X)
+  Lts l;
+  l.add_states(2);
+  l.add_transition(0, "REQ", 1);
+  l.add_transition(1, "ACK", 0);
+  const auto f = parse_formula(
+      "nu X. ([ 'REQ' ] (mu Y. (<any> tt && [ !'ACK' ] Y)) && [any] X)");
+  EXPECT_TRUE(check(l, f));
+}
+
+TEST(ParserState, Negation) {
+  const Lts l = diamond_lts();
+  const auto f = parse_formula("!<'A'> tt");
+  EXPECT_FALSE(evaluate(l, f).contains(0));
+  EXPECT_TRUE(evaluate(l, f).contains(1));
+}
+
+TEST(ParserState, RoundTripThroughToString) {
+  // to_string output of the canned properties reparses to an equivalent
+  // formula.
+  Lts l;
+  l.add_states(2);
+  l.add_transition(0, "A", 1);
+  l.add_transition(1, "B", 0);
+  for (const auto& f : {deadlock_freedom(), can_do(act("B")),
+                        inevitable(act("B"))}) {
+    const auto reparsed = parse_formula(f->to_string());
+    EXPECT_EQ(evaluate(l, f).count(), evaluate(l, reparsed).count())
+        << f->to_string();
+  }
+}
+
+TEST(ParserState, Errors) {
+  EXPECT_THROW((void)parse_formula(""), ParseError);
+  EXPECT_THROW((void)parse_formula("mu X"), ParseError);
+  EXPECT_THROW((void)parse_formula("<any tt"), ParseError);
+  EXPECT_THROW((void)parse_formula("tt tt"), ParseError);
+  EXPECT_THROW((void)parse_formula("(tt"), ParseError);
+}
+
+// --- diagnostics --------------------------------------------------------------------
+
+TEST(Diagnostic, DeadlockTrace) {
+  Lts l;
+  l.add_states(4);
+  l.add_transition(0, "A", 1);
+  l.add_transition(1, "B", 2);
+  l.add_transition(1, "C", 3);
+  l.add_transition(2, "B", 1);  // 3 is the deadlock
+  const Trace t = deadlock_trace(l);
+  ASSERT_TRUE(t.found);
+  EXPECT_EQ(t.final_state, 3u);
+  ASSERT_EQ(t.labels.size(), 2u);
+  EXPECT_EQ(t.labels[0], "A");
+  EXPECT_EQ(t.labels[1], "C");
+  EXPECT_EQ(t.to_string(), "A -> C");
+}
+
+TEST(Diagnostic, NoDeadlockMeansNoTrace) {
+  Lts l;
+  l.add_states(1);
+  l.add_transition(0, "A", 0);
+  const Trace t = deadlock_trace(l);
+  EXPECT_FALSE(t.found);
+  EXPECT_EQ(t.to_string(), "<none>");
+}
+
+TEST(Diagnostic, TraceToAction) {
+  Lts l;
+  l.add_states(3);
+  l.add_transition(0, "STEP", 1);
+  l.add_transition(1, "BAD !7", 2);
+  const Trace t = shortest_trace_to_action(l, act("BAD*"));
+  ASSERT_TRUE(t.found);
+  ASSERT_EQ(t.labels.size(), 2u);
+  EXPECT_EQ(t.labels.back(), "BAD !7");
+}
+
+TEST(Diagnostic, TraceToActionPicksShortest) {
+  Lts l;
+  l.add_states(4);
+  l.add_transition(0, "X", 1);
+  l.add_transition(1, "HIT", 2);
+  l.add_transition(0, "HIT", 3);  // depth-1 witness
+  const Trace t = shortest_trace_to_action(l, act("HIT"));
+  ASSERT_TRUE(t.found);
+  EXPECT_EQ(t.labels.size(), 1u);
+}
+
+TEST(Diagnostic, TraceToStateSet) {
+  Lts l;
+  l.add_states(3);
+  l.add_transition(0, "A", 1);
+  l.add_transition(1, "B", 2);
+  StateSet targets(3);
+  targets.insert(2);
+  const Trace t = shortest_trace_to(l, targets);
+  ASSERT_TRUE(t.found);
+  EXPECT_EQ(t.labels.size(), 2u);
+  // Initial state in the target set -> empty trace.
+  StateSet init_set(3);
+  init_set.insert(0);
+  const Trace e = shortest_trace_to(l, init_set);
+  ASSERT_TRUE(e.found);
+  EXPECT_TRUE(e.labels.empty());
+  EXPECT_EQ(e.to_string(), "<initial state>");
+}
+
+TEST(Diagnostic, UnreachableTarget) {
+  Lts l;
+  l.add_states(2);  // no transitions
+  StateSet targets(2);
+  targets.insert(1);
+  EXPECT_FALSE(shortest_trace_to(l, targets).found);
+}
+
+// --- weak-trace equivalence -------------------------------------------------------------
+
+TEST(TraceEq, DeterminizeRemovesTau) {
+  Lts l;
+  l.add_states(3);
+  l.add_transition(0, "i", 1);
+  l.add_transition(1, "A", 2);
+  const Lts d = bisim::determinize(l);
+  EXPECT_EQ(d.num_states(), 2u);
+  for (const auto& tr : d.all_transitions()) {
+    EXPECT_FALSE(lts::ActionTable::is_tau(tr.action));
+  }
+}
+
+TEST(TraceEq, NondeterminismCollapsed) {
+  // a.b + a.c has the same traces as a.(b+c) — trace equivalent but not
+  // branching equivalent.
+  Lts split;
+  split.add_states(4);
+  split.add_transition(0, "a", 1);
+  split.add_transition(0, "a", 2);
+  split.add_transition(1, "b", 3);
+  split.add_transition(2, "c", 3);
+  Lts joined;
+  joined.add_states(3);
+  joined.add_transition(0, "a", 1);
+  joined.add_transition(1, "b", 2);
+  joined.add_transition(1, "c", 2);
+  EXPECT_TRUE(bisim::weak_trace_equivalent(split, joined));
+  EXPECT_FALSE(
+      bisim::equivalent(split, joined, bisim::Equivalence::kBranching));
+}
+
+TEST(TraceEq, DifferentLanguagesDetected) {
+  Lts a;
+  a.add_states(2);
+  a.add_transition(0, "x", 1);
+  Lts b;
+  b.add_states(2);
+  b.add_transition(0, "y", 1);
+  EXPECT_FALSE(bisim::weak_trace_equivalent(a, b));
+}
+
+TEST(TraceEq, TauOnlyDifferencesIgnored) {
+  Lts a;
+  a.add_states(3);
+  a.add_transition(0, "i", 1);
+  a.add_transition(1, "i", 2);
+  a.add_transition(2, "GO", 0);
+  Lts b;
+  b.add_states(1);
+  b.add_transition(0, "GO", 0);
+  EXPECT_TRUE(bisim::weak_trace_equivalent(a, b));
+}
+
+TEST(TraceEq, BranchingImpliesTraceEquivalence) {
+  // Sanity: branching-equivalent systems are weak-trace equivalent.
+  Lts x;
+  x.add_states(2);
+  x.add_transition(0, "i", 1);
+  x.add_transition(1, "A", 0);
+  Lts y;
+  y.add_states(1);
+  y.add_transition(0, "A", 0);
+  ASSERT_TRUE(bisim::equivalent(x, y, bisim::Equivalence::kBranching));
+  EXPECT_TRUE(bisim::weak_trace_equivalent(x, y));
+}
+
+TEST(TraceEq, StateLimitEnforced) {
+  Lts l;
+  l.add_states(12);
+  // Dense nondeterminism to force subset blow-up past a tiny limit.
+  for (lts::StateId s = 0; s < 12; ++s) {
+    for (lts::StateId t = 0; t < 12; ++t) {
+      if (((s * 7 + t) % 3) == 0) {
+        l.add_transition(s, "a", t);
+      }
+      if (((s * 5 + t) % 4) == 1) {
+        l.add_transition(s, "b", t);
+      }
+    }
+  }
+  bisim::DeterminizeOptions opts;
+  opts.max_states = 3;
+  EXPECT_THROW((void)bisim::determinize(l, opts), std::runtime_error);
+}
+
+}  // namespace

@@ -1,0 +1,246 @@
+// Case-study tests: FAUST-style NoC router and 2x2 mesh.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bisim/equivalence.hpp"
+#include "lts/analysis.hpp"
+#include "mc/evaluator.hpp"
+#include "mc/properties.hpp"
+#include "noc/mesh.hpp"
+#include "noc/perf.hpp"
+#include "noc/router.hpp"
+
+namespace {
+
+using namespace multival;
+using namespace multival::noc;
+
+// --- single router ------------------------------------------------------------
+
+TEST(Router, FreeRunningRouterIsDeadlockFree) {
+  for (int node = 0; node < 4; ++node) {
+    const lts::Lts l = router_lts(node);
+    EXPECT_TRUE(mc::check(l, mc::deadlock_freedom())) << "router " << node;
+    EXPECT_GT(l.num_states(), 10u);
+  }
+}
+
+TEST(Router, LocalTrafficIsDeliveredLocally) {
+  // A packet for the router's own node can reach the local output.
+  const lts::Lts l = router_lts(0);
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("LO0 !0"))));
+  // A packet for node 1 (x differs) leaves east, never through LO.
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("EO0 !1"))));
+  EXPECT_TRUE(mc::check(l, mc::never(mc::act("LO0 !1"))));
+}
+
+TEST(Router, XyOrderForbidsYToXTurn) {
+  // The south input (Y traffic) only accepts destinations whose X leg is
+  // done: at router 0 (x=0) that is column-0 traffic going north, i.e.
+  // only the local node.
+  const lts::Lts l = router_lts(0);
+  for (int d = 1; d < 4; ++d) {
+    EXPECT_TRUE(mc::check(
+        l, mc::never(mc::act("SI0 !" + std::to_string(d)))))
+        << "dest " << d;
+  }
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("SI0 !0"))));
+}
+
+TEST(Router, EastInputOnlyAcceptsMatchingOrWestwardColumns) {
+  const lts::Lts l = router_lts(0);  // x = 0: from east only dests with x=0
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("EI0 !0"))));
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("EI0 !2"))));
+  EXPECT_TRUE(mc::check(l, mc::never(mc::act("EI0 !1"))));
+}
+
+TEST(Router, CentreRouterOf3x3HasAllPorts) {
+  const MeshDims dims{3, 3};
+  const lts::Lts l = router_lts(4, dims);  // centre node
+  EXPECT_TRUE(mc::check(l, mc::deadlock_freedom()));
+  // All four directions plus local are live.
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("EO4 !5"))));
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("WO4 !3"))));
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("NO4 !1"))));
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("SO4 !7"))));
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("LO4 !4"))));
+  // XY: a corner destination in another column leaves on X first.
+  EXPECT_TRUE(mc::check(l, mc::never(mc::act("NO4 !0"))));
+}
+
+TEST(Router, BadNodeRejected) {
+  EXPECT_THROW((void)router_lts(7), std::invalid_argument);
+  EXPECT_THROW((void)router_lts(0, MeshDims{5, 5}), std::invalid_argument);
+}
+
+// --- mesh: functional ---------------------------------------------------------------
+
+TEST(Mesh, SinglePacketAlwaysDelivered) {
+  // Every (src, dst) pair: the packet is inevitably delivered at dst.
+  for (int src = 0; src < 4; ++src) {
+    for (int dst = 0; dst < 4; ++dst) {
+      const lts::Lts l = single_packet_lts(src, dst);
+      EXPECT_TRUE(mc::check(
+          l, mc::inevitable(mc::act("LO" + std::to_string(dst) + " *"))))
+          << src << " -> " << dst;
+    }
+  }
+}
+
+TEST(Mesh, SinglePacketNeverMisdelivered) {
+  for (int dst = 0; dst < 4; ++dst) {
+    const lts::Lts l = single_packet_lts(0, dst);
+    for (int other = 0; other < 4; ++other) {
+      if (other == dst) {
+        continue;
+      }
+      EXPECT_TRUE(mc::check(
+          l, mc::never(mc::act("LO" + std::to_string(other) + " *"))))
+          << "dst " << dst << " other " << other;
+    }
+  }
+}
+
+TEST(Mesh, SinglePacketScenarioTerminates) {
+  // The scenario ends in exactly one (terminated) state; no livelock.
+  const lts::Lts l = single_packet_lts(0, 3);
+  EXPECT_FALSE(lts::has_tau_cycle(l));
+  EXPECT_EQ(lts::deadlock_states(l).size(), 1u);  // the terminal state
+}
+
+TEST(Mesh, SinglePacketReducesToDeliverySequence) {
+  // Hiding links, the observable behaviour is inject;deliver — a 3-state
+  // sequence modulo branching bisimulation.
+  const lts::Lts l = single_packet_lts(0, 3);
+  const auto r = bisim::minimize(l, bisim::Equivalence::kBranching);
+  EXPECT_EQ(r.quotient.num_states(), 3u);
+  EXPECT_EQ(r.quotient.num_transitions(), 2u);
+}
+
+TEST(Mesh, CrossTrafficStaysLive) {
+  // Two independent flows: no deadlock, both keep delivering.
+  const std::vector<Flow> flows{{0, 3}, {3, 0}};
+  const lts::Lts l = stream_lts(flows);
+  EXPECT_TRUE(mc::check(l, mc::deadlock_freedom()));
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("LO3 *"))));
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("LO0 *"))));
+}
+
+TEST(Mesh, ContendingFlowsStayLive) {
+  // Flows 0->3 and 1->3 share the Y link into node 3 and the LO3 port.
+  const std::vector<Flow> flows{{0, 3}, {1, 3}};
+  const lts::Lts l = stream_lts(flows);
+  EXPECT_TRUE(mc::check(l, mc::deadlock_freedom()));
+}
+
+TEST(Mesh, LinkGateInventory) {
+  EXPECT_EQ(mesh_link_gates().size(), 8u);
+  EXPECT_EQ(mesh_link_gates(MeshDims{3, 2}).size(), 14u);
+  EXPECT_EQ(mesh_link_gates(MeshDims{3, 3}).size(), 24u);
+  EXPECT_THROW((void)single_packet_lts(0, 9), std::invalid_argument);
+  EXPECT_THROW((void)stream_lts({}), std::invalid_argument);
+}
+
+// --- mesh: performance ------------------------------------------------------------------
+
+TEST(NocPerf, MoreHopsMoreLatency) {
+  const NocRates rates;
+  const double zero_hop = packet_latency(0, 0, rates);   // local only
+  const double one_hop = packet_latency(0, 1, rates);    // X
+  const double two_hops = packet_latency(0, 3, rates);   // X then Y
+  EXPECT_LT(zero_hop, one_hop);
+  EXPECT_LT(one_hop, two_hops);
+}
+
+TEST(NocPerf, LatencyScalesWithLinkRate) {
+  NocRates slow;
+  slow.link_rate = 1.0;
+  NocRates fast;
+  fast.link_rate = 10.0;
+  EXPECT_GT(packet_latency(0, 3, slow), packet_latency(0, 3, fast));
+}
+
+TEST(NocPerf, ContentionDegradesPerFlowThroughput) {
+  const NocRates rates;
+  const double solo_a = delivery_throughput({{0, 3}}, rates);
+  const double solo_b = delivery_throughput({{1, 3}}, rates);
+  const double contended = delivery_throughput({{0, 3}, {1, 3}}, rates);
+  // Sharing the Y link into node 3 and the LO3 port costs throughput: the
+  // combined rate stays below the sum of the isolated rates.
+  EXPECT_GT(contended, std::max(solo_a, solo_b));
+  EXPECT_LT(contended, solo_a + solo_b);
+}
+
+TEST(NocPerf, DisjointFlowsScaleAlmostLinearly) {
+  const NocRates rates;
+  const double solo = delivery_throughput({{0, 1}}, rates);
+  const double dual = delivery_throughput({{0, 1}, {2, 3}}, rates);
+  EXPECT_GT(dual, 1.8 * solo);
+}
+
+// --- buffer depth --------------------------------------------------------------
+
+TEST(BufferDepth, Validated) {
+  MeshDims dims;
+  dims.buffer_depth = 0;
+  EXPECT_THROW((void)router_lts(0, dims), std::invalid_argument);
+  dims.buffer_depth = 4;
+  EXPECT_THROW((void)router_lts(0, dims), std::invalid_argument);
+}
+
+TEST(BufferDepth, DeeperBuffersEnlargeStateSpace) {
+  MeshDims deep;
+  deep.buffer_depth = 2;
+  EXPECT_GT(router_lts(0, deep).num_states(), router_lts(0).num_states());
+}
+
+TEST(BufferDepth, FunctionalBehaviourUnchangedForOnePacket) {
+  // With a single packet in flight the buffer depth is unobservable.
+  MeshDims deep;
+  deep.buffer_depth = 2;
+  const lts::Lts shallow = single_packet_lts(0, 3);
+  const lts::Lts buffered = single_packet_lts(0, 3, true, deep);
+  EXPECT_TRUE(bisim::equivalent(shallow, buffered,
+                                bisim::Equivalence::kBranching));
+}
+
+TEST(BufferDepth, DeeperBuffersHelpPipelinedTraffic) {
+  // Two closed-loop flows on the same path keep more packets in flight;
+  // deeper input buffers reduce head-of-line blocking.
+  MeshDims deep;
+  deep.buffer_depth = 2;
+  const NocRates rates;
+  const std::vector<Flow> flows{{0, 3}, {0, 3}};
+  const double shallow = delivery_throughput(flows, rates);
+  const double buffered = delivery_throughput(flows, rates, deep);
+  EXPECT_GE(buffered, shallow - 1e-9);
+}
+
+// --- larger meshes -----------------------------------------------------------
+
+TEST(Mesh3x3, SinglePacketDeliveredAcrossDiagonal) {
+  const MeshDims dims{3, 3};
+  const lts::Lts l = single_packet_lts(0, 8, /*hide_links=*/true, dims);
+  EXPECT_TRUE(mc::check(l, mc::inevitable(mc::act("LO8 *"))));
+  EXPECT_TRUE(mc::check(l, mc::never(mc::act("LO4 *"))));
+}
+
+TEST(Mesh3x3, LatencyGrowsWithManhattanDistance) {
+  const MeshDims dims{3, 3};
+  const NocRates rates;
+  const double d1 = packet_latency(0, 1, rates, dims);  // 1 hop
+  const double d2 = packet_latency(0, 2, rates, dims);  // 2 hops
+  const double d4 = packet_latency(0, 8, rates, dims);  // 4 hops
+  EXPECT_LT(d1, d2);
+  EXPECT_LT(d2, d4);
+}
+
+TEST(Mesh3x2, CrossTrafficLive) {
+  const MeshDims dims{3, 2};
+  const std::vector<Flow> flows{{0, 5}, {5, 0}};
+  const lts::Lts l = stream_lts(flows, /*hide_links=*/true, dims);
+  EXPECT_TRUE(mc::check(l, mc::deadlock_freedom()));
+}
+
+}  // namespace

@@ -1,0 +1,191 @@
+// Unit tests for the phase/ module: phase-type distributions and fixed-delay
+// approximation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imc/compose.hpp"
+#include "markov/absorption.hpp"
+#include "phase/fit.hpp"
+#include "phase/phase_type.hpp"
+
+namespace {
+
+using namespace multival;
+using namespace multival::phase;
+
+TEST(PhaseTypeTest, ExponentialMoments) {
+  const PhaseType e = PhaseType::exponential(4.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 0.25);
+  EXPECT_DOUBLE_EQ(e.variance(), 0.0625);
+  EXPECT_DOUBLE_EQ(e.cv2(), 1.0);
+}
+
+TEST(PhaseTypeTest, ErlangMoments) {
+  // Erlang(k=4, rate 2): mean 2, var 1, cv2 = 1/4.
+  const PhaseType e = PhaseType::erlang(4, 2.0);
+  EXPECT_DOUBLE_EQ(e.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(e.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(e.cv2(), 0.25);
+  EXPECT_EQ(e.num_phases(), 4u);
+}
+
+TEST(PhaseTypeTest, HypoexponentialMoments) {
+  const PhaseType h = PhaseType::hypoexponential({1.0, 2.0});
+  EXPECT_DOUBLE_EQ(h.mean(), 1.5);
+  EXPECT_DOUBLE_EQ(h.variance(), 1.25);
+  EXPECT_LT(h.cv2(), 1.0);
+}
+
+TEST(PhaseTypeTest, HyperexponentialMoments) {
+  const PhaseType h = PhaseType::hyperexponential({0.5, 0.5}, {1.0, 3.0});
+  EXPECT_NEAR(h.mean(), 0.5 * 1.0 + 0.5 / 3.0, 1e-12);
+  EXPECT_GT(h.cv2(), 1.0);  // hyperexponential is over-dispersed
+}
+
+TEST(PhaseTypeTest, Validation) {
+  EXPECT_THROW(PhaseType({1.0}, {0.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(PhaseType({0.5}, {1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(PhaseType({1.0}, {1.0}, {0.5}), std::invalid_argument);
+  EXPECT_THROW(PhaseType::erlang(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(PhaseType::hypoexponential({}), std::invalid_argument);
+  EXPECT_THROW(PhaseType::hyperexponential({1.0}, {}),
+               std::invalid_argument);
+}
+
+TEST(PhaseTypeTest, CdfExponentialClosedForm) {
+  const PhaseType e = PhaseType::exponential(2.0);
+  for (const double t : {0.1, 0.5, 1.0, 2.0}) {
+    EXPECT_NEAR(e.cdf(t), 1.0 - std::exp(-2.0 * t), 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(e.cdf(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(e.cdf(-1.0), 0.0);
+}
+
+TEST(PhaseTypeTest, CdfErlangClosedForm) {
+  // Erlang(2, rate r): F(t) = 1 - e^{-rt}(1 + rt).
+  const double r = 3.0;
+  const PhaseType e = PhaseType::erlang(2, r);
+  for (const double t : {0.2, 0.7, 1.5}) {
+    const double expect = 1.0 - std::exp(-r * t) * (1.0 + r * t);
+    EXPECT_NEAR(e.cdf(t), expect, 1e-9);
+  }
+}
+
+TEST(PhaseTypeTest, CdfIsMonotone) {
+  const PhaseType h = PhaseType::hyperexponential({0.3, 0.7}, {0.5, 5.0});
+  double prev = 0.0;
+  for (int i = 1; i <= 20; ++i) {
+    const double f = h.cdf(0.2 * i);
+    EXPECT_GE(f, prev - 1e-12);
+    prev = f;
+  }
+  EXPECT_NEAR(h.cdf(100.0), 1.0, 1e-6);
+}
+
+TEST(PhaseTypeTest, AbsorbingCtmcMeanMatches) {
+  const PhaseType e = PhaseType::erlang(3, 1.5);
+  const auto c = e.absorbing_ctmc();
+  EXPECT_NEAR(markov::expected_absorption_time_from_initial(c), e.mean(),
+              1e-9);
+}
+
+// --- delay_process ---------------------------------------------------------------
+
+TEST(DelayProcess, StructureAndClosure) {
+  const PhaseType d = PhaseType::erlang(2, 4.0);
+  const imc::Imc m = delay_process(d, "START", "END");
+  // idle + 2 phases + done.
+  EXPECT_EQ(m.num_states(), 4u);
+  EXPECT_EQ(m.num_interactive(), 2u);
+  EXPECT_EQ(m.num_markovian(), 2u);
+}
+
+TEST(DelayProcess, InsertedDelayHasRightMean) {
+  // A driver that starts the delay, waits for the end, then stops:
+  // the composed, closed system's absorption time = the delay's mean.
+  const PhaseType d = PhaseType::erlang(4, 8.0);  // mean 0.5
+  const imc::Imc delay = delay_process(d, "START", "END");
+  imc::Imc driver;
+  driver.add_states(3);
+  driver.add_interactive(0, "START", 1);
+  driver.add_interactive(1, "END", 2);
+  const std::vector<std::string> sync{"START", "END"};
+  imc::Imc sys = imc::parallel(driver, delay, sync);
+  sys = imc::maximal_progress(imc::hide_all(sys));
+  const auto e = imc::to_ctmc(sys);
+  EXPECT_NEAR(markov::expected_absorption_time_from_initial(e.ctmc), 0.5,
+              1e-9);
+}
+
+TEST(DelayProcess, HyperexponentialRejected) {
+  const PhaseType h = PhaseType::hyperexponential({0.5, 0.5}, {1.0, 2.0});
+  EXPECT_THROW((void)delay_process(h, "S", "E"), std::invalid_argument);
+}
+
+// --- fixed-delay fitting ------------------------------------------------------------
+
+TEST(Fit, ErlangForFixedDelayMatchesMean) {
+  for (const std::size_t k : {1u, 2u, 8u, 32u}) {
+    const PhaseType d = erlang_for_fixed_delay(2.5, k);
+    EXPECT_NEAR(d.mean(), 2.5, 1e-12);
+    EXPECT_NEAR(d.cv2(), 1.0 / static_cast<double>(k), 1e-12);
+  }
+  EXPECT_THROW((void)erlang_for_fixed_delay(0.0, 4), std::invalid_argument);
+  EXPECT_THROW((void)erlang_for_fixed_delay(1.0, 0), std::invalid_argument);
+}
+
+TEST(Fit, KolmogorovDistanceDecreasesButSaturates) {
+  const double d = 1.0;
+  double prev = 1.0;
+  for (const std::size_t k : {1u, 4u, 16u, 64u}) {
+    const double dist =
+        kolmogorov_distance_to_fixed(erlang_for_fixed_delay(d, k), d);
+    EXPECT_LT(dist, prev);
+    prev = dist;
+  }
+  // The sup-norm can never beat ~0.5 against a jump.
+  EXPECT_GT(prev, 0.45);
+}
+
+TEST(Fit, WassersteinDecaysLikeInverseSqrtK) {
+  const double d = 1.0;
+  double prev = 10.0;
+  for (const std::size_t k : {1u, 4u, 16u, 64u}) {
+    const double w =
+        wasserstein_distance_to_fixed(erlang_for_fixed_delay(d, k), d, 600);
+    EXPECT_LT(w, prev);
+    // Theory: W1 ~ d * sqrt(2 / (pi k)).
+    const double theory = d * std::sqrt(2.0 / (M_PI * static_cast<double>(k)));
+    EXPECT_NEAR(w, theory, 0.25 * theory) << "k = " << k;
+    prev = w;
+  }
+  EXPECT_LT(prev, 0.15);  // Erlang-64 approximates the fixed delay well
+}
+
+TEST(Fit, EvaluateFixedDelayFit) {
+  const FixedDelayFit f = evaluate_fixed_delay_fit(2.0, 16);
+  EXPECT_EQ(f.phases, 16u);
+  EXPECT_NEAR(f.mean_error, 0.0, 1e-12);
+  EXPECT_NEAR(f.cv2, 1.0 / 16.0, 1e-12);
+  EXPECT_GT(f.kolmogorov, 0.0);
+  EXPECT_LT(f.kolmogorov, 1.0);
+}
+
+class ErlangSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ErlangSweep, SpaceAccuracyMonotonicity) {
+  const std::size_t k = GetParam();
+  const FixedDelayFit fk = evaluate_fixed_delay_fit(1.0, k);
+  const FixedDelayFit f2k = evaluate_fixed_delay_fit(1.0, 2 * k);
+  EXPECT_EQ(fk.phases, k);
+  EXPECT_EQ(f2k.phases, 2 * k);
+  EXPECT_GT(fk.cv2, f2k.cv2);              // accuracy improves...
+  EXPECT_LT(fk.phases, f2k.phases);        // ...at state-space cost
+  EXPECT_GT(fk.kolmogorov, f2k.kolmogorov);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, ErlangSweep,
+                         ::testing::Values(1u, 2u, 4u, 8u, 16u, 32u));
+
+}  // namespace

@@ -1,0 +1,124 @@
+// Golden-value regression tests: pins the concrete numbers documented in
+// EXPERIMENTS.md so the recorded results stay reproducible.  If a change
+// legitimately moves one of these values, update EXPERIMENTS.md together
+// with the expectation here.
+#include <gtest/gtest.h>
+
+#include "bisim/equivalence.hpp"
+#include "fame/coherence.hpp"
+#include "imc/scheduler.hpp"
+#include "fame/mpi.hpp"
+#include "noc/mesh.hpp"
+#include "noc/perf.hpp"
+#include "noc/router.hpp"
+#include "phase/fit.hpp"
+#include "xstream/perf.hpp"
+#include "xstream/queue_model.hpp"
+
+namespace {
+
+using namespace multival;
+
+// --- T1: state-space sizes -----------------------------------------------------
+
+TEST(Golden, T1StateSpaces) {
+  xstream::QueueConfig q;
+  q.capacity = 2;
+  EXPECT_EQ(xstream::virtual_queue_lts(q).num_states(), 33u);
+  q.capacity = 3;
+  EXPECT_EQ(xstream::virtual_queue_lts(q).num_states(), 78u);
+  EXPECT_EQ(noc::router_lts(0).num_states(), 360u);
+  EXPECT_EQ(noc::single_packet_lts(0, 3).num_states(), 8u);
+  EXPECT_EQ(fame::coherence_system_lts(fame::Protocol::kMsi).num_states(),
+            332u);
+  EXPECT_EQ(fame::coherence_system_lts(fame::Protocol::kMesi).num_states(),
+            484u);
+}
+
+// --- T2: minimisation sizes --------------------------------------------------------
+
+TEST(Golden, T2Minimisation) {
+  xstream::QueueConfig q;
+  q.capacity = 3;
+  const auto queue = xstream::virtual_queue_lts(q);
+  EXPECT_EQ(bisim::minimize(queue, bisim::Equivalence::kBranching)
+                .quotient.num_states(),
+            31u);
+  const auto mesi = fame::coherence_system_lts(fame::Protocol::kMesi);
+  EXPECT_EQ(bisim::minimize(mesi, bisim::Equivalence::kStrong)
+                .quotient.num_states(),
+            140u);
+  const auto flows = noc::stream_lts({{0, 3}, {1, 3}});
+  EXPECT_EQ(bisim::minimize(flows, bisim::Equivalence::kBranching)
+                .quotient.num_states(),
+            4u);
+}
+
+// --- F4: occupancy distribution at rho = 0.3 -----------------------------------------
+
+TEST(Golden, F4OccupancyLowLoad) {
+  xstream::QueuePerfParams p;
+  p.push_rate = 0.3 * 2.0;
+  p.pop_rate = 2.0;
+  const auto r = xstream::analyze_virtual_queue(p);
+  EXPECT_NEAR(r.occupancy_distribution[0], 0.6776, 5e-4);
+  EXPECT_NEAR(r.occupancy_distribution[3], 0.0139, 5e-4);
+  EXPECT_NEAR(r.mean_occupancy, 0.4111, 5e-4);
+}
+
+// --- T6: MPI latencies on the bus -------------------------------------------------------
+
+TEST(Golden, T6BusLatencies) {
+  fame::PingPongConfig cfg;
+  cfg.topology = fame::Topology::kBus;
+  cfg.rounds = 4;
+  cfg.protocol = fame::Protocol::kMsi;
+  cfg.impl = fame::MpiImpl::kEager;
+  EXPECT_NEAR(fame::pingpong_latency(cfg).round_latency, 22.25, 1e-6);
+  cfg.protocol = fame::Protocol::kMesi;
+  EXPECT_NEAR(fame::pingpong_latency(cfg).round_latency, 18.25, 1e-6);
+  cfg.protocol = fame::Protocol::kMsi;
+  cfg.impl = fame::MpiImpl::kRendezvous;
+  EXPECT_NEAR(fame::pingpong_latency(cfg).round_latency, 47.05, 1e-6);
+}
+
+TEST(Golden, T6CrossbarEagerMsi) {
+  fame::PingPongConfig cfg;
+  cfg.topology = fame::Topology::kCrossbar;
+  cfg.rounds = 4;
+  EXPECT_NEAR(fame::pingpong_latency(cfg).round_latency, 8.0833, 1e-4);
+}
+
+// --- F7: phase-type fit ---------------------------------------------------------------------
+
+TEST(Golden, F7ErlangFit) {
+  const auto f16 = phase::evaluate_fixed_delay_fit(1.0, 16, 400);
+  EXPECT_NEAR(f16.cv2, 0.0625, 1e-12);
+  EXPECT_NEAR(f16.wasserstein, 0.1983, 2e-3);
+  EXPECT_NEAR(f16.kolmogorov, 0.5333, 2e-3);
+}
+
+// --- F7c: NoC with fixed link delays ----------------------------------------------------------
+
+TEST(Golden, F7cNocLatencyInvariant) {
+  const noc::NocRates rates;
+  // Exponential links (k=1): mean latency of the 2-hop path with
+  // inject/eject at 4.0 and links at 2.0 is 1/4 + 1/2 + 1/2 + 1/4 = 1.5.
+  EXPECT_NEAR(noc::packet_latency(0, 3, rates), 1.5, 1e-9);
+}
+
+// --- T10: scheduler band ------------------------------------------------------------------------
+
+TEST(Golden, T10FastOrSlow) {
+  imc::Imc m;
+  m.add_states(4);
+  m.add_interactive(0, "i", 1);
+  m.add_interactive(0, "i", 2);
+  m.add_markovian(1, 4.0, 3);
+  m.add_markovian(2, 1.0, 3);
+  const auto b = imc::absorption_time_bounds(m);
+  EXPECT_NEAR(b.min, 0.25, 1e-9);
+  EXPECT_NEAR(b.max, 1.0, 1e-9);
+}
+
+}  // namespace

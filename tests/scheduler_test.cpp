@@ -1,0 +1,141 @@
+// Tests for the nondeterminism-bounds module (imc/scheduler).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "imc/compose.hpp"
+#include "imc/scheduler.hpp"
+#include "markov/absorption.hpp"
+
+namespace {
+
+using namespace multival;
+using namespace multival::imc;
+
+// A decision between a fast (rate 4) and a slow (rate 1) path to absorption.
+Imc fast_or_slow() {
+  Imc m;
+  m.add_states(4);
+  m.add_interactive(0, "i", 1);
+  m.add_interactive(0, "i", 2);
+  m.add_markovian(1, 4.0, 3);
+  m.add_markovian(2, 1.0, 3);
+  return m;
+}
+
+TEST(Scheduler, TimeBoundsBracketTheTwoPaths) {
+  const Bounds b = absorption_time_bounds(fast_or_slow());
+  EXPECT_NEAR(b.min, 0.25, 1e-9);
+  EXPECT_NEAR(b.max, 1.0, 1e-9);
+}
+
+TEST(Scheduler, UniformPolicyLiesBetweenBounds) {
+  const Imc m = fast_or_slow();
+  const Bounds b = absorption_time_bounds(m);
+  const CtmcExtraction e = to_ctmc(m, NondetPolicy::kUniform);
+  const double uniform =
+      markov::expected_absorption_time_from_initial(e.ctmc);
+  EXPECT_GE(uniform, b.min - 1e-9);
+  EXPECT_LE(uniform, b.max + 1e-9);
+  EXPECT_NEAR(uniform, 0.5 * 0.25 + 0.5 * 1.0, 1e-9);
+}
+
+TEST(Scheduler, DeterministicModelHasTightBounds) {
+  Imc m;
+  m.add_states(3);
+  m.add_markovian(0, 2.0, 1);
+  m.add_interactive(1, "i", 2);
+  const Bounds b = absorption_time_bounds(m);
+  EXPECT_NEAR(b.min, b.max, 1e-9);
+  EXPECT_NEAR(b.min, 0.5, 1e-9);
+}
+
+TEST(Scheduler, ReachabilityBounds) {
+  // Decision: go to target directly, or to a rate race that reaches the
+  // target with probability 1/3.
+  Imc m;
+  m.add_states(4);
+  m.add_interactive(0, "i", 1);  // decision A: certain
+  m.add_interactive(0, "i", 2);  // decision B: race
+  m.add_markovian(2, 1.0, 1);
+  m.add_markovian(2, 2.0, 3);
+  std::vector<bool> target(4, false);
+  target[1] = true;
+  const Bounds b = reachability_bounds(m, target);
+  EXPECT_NEAR(b.max, 1.0, 1e-9);
+  EXPECT_NEAR(b.min, 1.0 / 3.0, 1e-9);
+}
+
+TEST(Scheduler, AvoidableAbsorptionGivesInfiniteMax) {
+  // The decision at state 0: delay to the absorbing state 3, or delay back
+  // to the decision — a scheduler that always picks the loop never absorbs.
+  Imc k;
+  k.add_states(4);
+  k.add_interactive(0, "i", 1);
+  k.add_interactive(0, "i", 2);
+  k.add_markovian(1, 2.0, 3);  // absorb at 3
+  k.add_markovian(2, 1.0, 0);  // recurrent loop back to the decision
+  const Bounds b = absorption_time_bounds(k);
+  EXPECT_NEAR(b.min, 0.5, 1e-9);
+  EXPECT_TRUE(std::isinf(b.max));
+}
+
+TEST(Scheduler, UnreachableAbsorptionGivesInfiniteBoth) {
+  Imc m;
+  m.add_states(2);
+  m.add_markovian(0, 1.0, 1);
+  m.add_markovian(1, 1.0, 0);
+  const Bounds b = absorption_time_bounds(m);
+  EXPECT_TRUE(std::isinf(b.min));
+  EXPECT_TRUE(std::isinf(b.max));
+}
+
+TEST(Scheduler, ExtractedSchedulerAchievesBound) {
+  const Imc m = fast_or_slow();
+  const Bounds b = absorption_time_bounds(m);
+  // Apply the time-optimal and worst-case schedulers; solving the induced
+  // deterministic chain must reproduce the respective bound exactly.
+  const Imc best = apply_scheduler(m, extract_time_scheduler(m, false));
+  const Imc worst = apply_scheduler(m, extract_time_scheduler(m, true));
+  const auto eb = to_ctmc(best);
+  const auto ew = to_ctmc(worst);
+  EXPECT_NEAR(markov::expected_absorption_time_from_initial(eb.ctmc), b.min,
+              1e-9);
+  EXPECT_NEAR(markov::expected_absorption_time_from_initial(ew.ctmc), b.max,
+              1e-9);
+}
+
+TEST(Scheduler, AppliedSchedulerIsDeterministic) {
+  const Imc m = fast_or_slow();
+  const Imc d = apply_scheduler(m, extract_time_scheduler(m, false));
+  for (StateId s = 0; s < d.num_states(); ++s) {
+    EXPECT_LE(d.interactive(s).size(), 1u);
+  }
+  // A deterministic IMC extracts without a policy.
+  EXPECT_NO_THROW((void)to_ctmc(d));
+}
+
+TEST(Scheduler, ApplySchedulerValidation) {
+  Imc m;
+  m.add_states(2);
+  m.add_interactive(0, "i", 1);
+  EXPECT_THROW((void)apply_scheduler(m, Scheduler{}),
+               std::invalid_argument);
+  EXPECT_THROW((void)apply_scheduler(m, Scheduler{5, 0}),
+               std::invalid_argument);
+}
+
+TEST(Scheduler, SizeMismatchThrows) {
+  Imc m;
+  m.add_states(2);
+  EXPECT_THROW((void)reachability_bounds(m, {true}), std::invalid_argument);
+}
+
+TEST(Scheduler, EmptyImc) {
+  Imc m;
+  const Bounds b = absorption_time_bounds(m);
+  EXPECT_DOUBLE_EQ(b.min, 0.0);
+  EXPECT_DOUBLE_EQ(b.max, 0.0);
+}
+
+}  // namespace

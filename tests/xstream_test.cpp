@@ -1,0 +1,204 @@
+// Case-study tests: xSTream credit-based virtual queues — functional
+// verification (including the two seeded protocol defects) and performance.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "bisim/equivalence.hpp"
+#include "core/flow.hpp"
+#include "lts/analysis.hpp"
+#include "mc/evaluator.hpp"
+#include "mc/properties.hpp"
+#include "xstream/perf.hpp"
+#include "xstream/queue_model.hpp"
+
+namespace {
+
+using namespace multival;
+using namespace multival::xstream;
+
+QueueConfig config(QueueVariant v, int capacity = 2, int max_value = 1) {
+  QueueConfig cfg;
+  cfg.capacity = capacity;
+  cfg.max_value = max_value;
+  cfg.variant = v;
+  return cfg;
+}
+
+// --- functional: correct variant ----------------------------------------------
+
+TEST(XStreamFunctional, CorrectQueueIsDeadlockFree) {
+  const lts::Lts l = virtual_queue_lts(config(QueueVariant::kCorrect));
+  EXPECT_TRUE(lts::deadlock_states(l).empty());
+  EXPECT_TRUE(mc::check(l, mc::deadlock_freedom()));
+}
+
+TEST(XStreamFunctional, CorrectQueueNeverLoses) {
+  const lts::Lts l = virtual_queue_lts(config(QueueVariant::kCorrect));
+  EXPECT_TRUE(mc::check(l, mc::never(mc::act("LOSE*"))));
+}
+
+TEST(XStreamFunctional, CorrectQueueEquivalentToFifoSpec) {
+  // The paper's service-equivalence check: hide the protocol, compare with
+  // the plain FIFO of capacity C+1 modulo branching bisimulation.
+  const QueueConfig cfg = config(QueueVariant::kCorrect);
+  const lts::Lts impl = virtual_queue_lts(cfg);
+  const lts::Lts spec = reference_fifo_lts(cfg);
+  EXPECT_TRUE(bisim::equivalent(impl, spec, bisim::Equivalence::kBranching));
+}
+
+TEST(XStreamFunctional, CorrectQueuePreservesFifoOrder) {
+  // Push 0 then 1: the first pop must deliver 0 (response-style check via
+  // the spec equivalence is stronger; this is a direct sanity property).
+  const lts::Lts l = virtual_queue_lts(config(QueueVariant::kCorrect));
+  // After any PUSH !0 with no intervening pops, POP !1 cannot be the first
+  // delivery.  We check a weaker inevitability: POP of the pushed value is
+  // possible.
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("POP !0"))));
+  EXPECT_TRUE(mc::check(l, mc::can_do(mc::act("POP !1"))));
+}
+
+TEST(XStreamFunctional, VerifyReportAllGreen) {
+  const auto report =
+      core::verify(virtual_queue_lts(config(QueueVariant::kCorrect)),
+                   {{"no packet loss", mc::never(mc::act("LOSE*"))}});
+  EXPECT_TRUE(report.all_hold());
+}
+
+// --- functional: the two seeded defects ------------------------------------------
+
+TEST(XStreamFunctional, LostCreditVariantDeadlocks) {
+  // Issue 1: a credit leak wedges the queue.
+  const lts::Lts l = virtual_queue_lts(config(QueueVariant::kLostCredit));
+  EXPECT_FALSE(mc::check(l, mc::deadlock_freedom()));
+  EXPECT_FALSE(lts::deadlock_states(l).empty());
+}
+
+TEST(XStreamFunctional, LostCreditVariantNotEquivalentToSpec) {
+  const QueueConfig cfg = config(QueueVariant::kLostCredit);
+  EXPECT_FALSE(bisim::equivalent(virtual_queue_lts(cfg),
+                                 reference_fifo_lts(cfg),
+                                 bisim::Equivalence::kBranching));
+}
+
+TEST(XStreamFunctional, EagerCreditVariantLosesPackets) {
+  // Issue 2: eagerly-granted credits overrun the FIFO.
+  const lts::Lts l = virtual_queue_lts(config(QueueVariant::kEagerCredit));
+  EXPECT_FALSE(mc::check(l, mc::never(mc::act("LOSE*"))));
+}
+
+TEST(XStreamFunctional, EagerCreditLossIsReachableQuickly) {
+  const lts::Lts l = virtual_queue_lts(config(QueueVariant::kEagerCredit));
+  const auto sat = mc::evaluate(l, mc::can_do(mc::act("LOSE*")));
+  EXPECT_TRUE(sat.contains(l.initial_state()));
+}
+
+TEST(XStreamFunctional, VariantNames) {
+  EXPECT_STREQ(to_string(QueueVariant::kCorrect), "correct");
+  EXPECT_STREQ(to_string(QueueVariant::kLostCredit), "lost-credit");
+  EXPECT_STREQ(to_string(QueueVariant::kEagerCredit), "eager-credit");
+}
+
+TEST(XStreamFunctional, ConfigValidation) {
+  EXPECT_THROW((void)virtual_queue_lts(config(QueueVariant::kCorrect, 0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)virtual_queue_lts(config(QueueVariant::kCorrect, 2, 9)),
+               std::invalid_argument);
+}
+
+class CapacitySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CapacitySweep, CorrectVariantHealthyAtAllCapacities) {
+  const QueueConfig cfg = config(QueueVariant::kCorrect, GetParam(), 1);
+  const lts::Lts l = virtual_queue_lts(cfg);
+  EXPECT_TRUE(mc::check(l, mc::deadlock_freedom())) << "cap " << GetParam();
+  EXPECT_TRUE(bisim::equivalent(l, reference_fifo_lts(cfg),
+                                bisim::Equivalence::kBranching))
+      << "cap " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CapacitySweep, ::testing::Values(1, 2, 3));
+
+// --- occupancy labelling -----------------------------------------------------------
+
+TEST(Occupancy, SimpleQueueBalance) {
+  lts::Lts l;
+  l.add_states(3);
+  l.add_transition(0, "PUSH", 1);
+  l.add_transition(1, "PUSH", 2);
+  l.add_transition(2, "POP !0", 1);
+  l.add_transition(1, "POP !0", 0);
+  const auto occ = occupancy_of_states(l, "PUSH", "POP");
+  EXPECT_EQ(occ[0], 0);
+  EXPECT_EQ(occ[1], 1);
+  EXPECT_EQ(occ[2], 2);
+}
+
+TEST(Occupancy, InconsistentBalanceThrows) {
+  lts::Lts l;
+  l.add_states(2);
+  l.add_transition(0, "PUSH", 1);
+  l.add_transition(0, "OTHER", 1);  // same target, different balance
+  EXPECT_THROW((void)occupancy_of_states(l, "PUSH", "POP"),
+               std::runtime_error);
+}
+
+// --- performance -----------------------------------------------------------------------
+
+TEST(XStreamPerf, DistributionIsProbability) {
+  QueuePerfParams p;
+  p.queue = config(QueueVariant::kCorrect, 2, 0);
+  const QueuePerfResult r = analyze_virtual_queue(p);
+  const double total = std::accumulate(r.occupancy_distribution.begin(),
+                                       r.occupancy_distribution.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(r.ctmc_states, 0u);
+}
+
+TEST(XStreamPerf, LittleLawConsistency) {
+  QueuePerfParams p;
+  p.queue = config(QueueVariant::kCorrect, 2, 0);
+  p.push_rate = 1.0;
+  p.pop_rate = 2.0;
+  const QueuePerfResult r = analyze_virtual_queue(p);
+  EXPECT_NEAR(r.mean_latency * r.throughput, r.mean_occupancy, 1e-9);
+  EXPECT_GT(r.throughput, 0.0);
+  EXPECT_LE(r.throughput, 1.0 + 1e-9);  // cannot exceed the arrival rate
+}
+
+TEST(XStreamPerf, HeavierLoadRaisesOccupancy) {
+  QueuePerfParams low;
+  low.queue = config(QueueVariant::kCorrect, 2, 0);
+  low.push_rate = 0.5;
+  QueuePerfParams high = low;
+  high.push_rate = 4.0;
+  const auto rl = analyze_virtual_queue(low);
+  const auto rh = analyze_virtual_queue(high);
+  EXPECT_GT(rh.mean_occupancy, rl.mean_occupancy);
+  EXPECT_GT(rh.utilisation, rl.utilisation);
+}
+
+TEST(XStreamPerf, ThroughputSaturatesAtServiceRate) {
+  QueuePerfParams p;
+  p.queue = config(QueueVariant::kCorrect, 2, 0);
+  p.push_rate = 50.0;  // overload
+  p.pop_rate = 2.0;
+  const auto r = analyze_virtual_queue(p);
+  EXPECT_LE(r.throughput, p.pop_rate + 1e-9);
+  EXPECT_GT(r.throughput, 0.9 * p.pop_rate);  // near saturation
+}
+
+TEST(XStreamPerf, FasterNetworkReducesLatency) {
+  QueuePerfParams slow;
+  slow.queue = config(QueueVariant::kCorrect, 2, 0);
+  slow.net_rate = 1.0;
+  slow.credit_rate = 1.0;
+  QueuePerfParams fast = slow;
+  fast.net_rate = 50.0;
+  fast.credit_rate = 50.0;
+  const auto rs = analyze_virtual_queue(slow);
+  const auto rf = analyze_virtual_queue(fast);
+  EXPECT_LT(rf.mean_latency, rs.mean_latency);
+}
+
+}  // namespace
