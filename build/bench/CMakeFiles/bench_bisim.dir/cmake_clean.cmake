@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_bisim.dir/bench_bisim.cpp.o"
+  "CMakeFiles/bench_bisim.dir/bench_bisim.cpp.o.d"
+  "bench_bisim"
+  "bench_bisim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bisim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_markov.dir/bench_markov.cpp.o"
+  "CMakeFiles/bench_markov.dir/bench_markov.cpp.o.d"
+  "bench_markov"
+  "bench_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

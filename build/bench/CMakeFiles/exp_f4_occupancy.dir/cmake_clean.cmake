@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f4_occupancy.dir/exp_f4_occupancy.cpp.o"
+  "CMakeFiles/exp_f4_occupancy.dir/exp_f4_occupancy.cpp.o.d"
+  "exp_f4_occupancy"
+  "exp_f4_occupancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f4_occupancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

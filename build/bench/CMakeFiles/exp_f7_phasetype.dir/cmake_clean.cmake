@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f7_phasetype.dir/exp_f7_phasetype.cpp.o"
+  "CMakeFiles/exp_f7_phasetype.dir/exp_f7_phasetype.cpp.o.d"
+  "exp_f7_phasetype"
+  "exp_f7_phasetype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f7_phasetype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

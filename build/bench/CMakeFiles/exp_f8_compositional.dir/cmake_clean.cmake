@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_f8_compositional.dir/exp_f8_compositional.cpp.o"
+  "CMakeFiles/exp_f8_compositional.dir/exp_f8_compositional.cpp.o.d"
+  "exp_f8_compositional"
+  "exp_f8_compositional.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_f8_compositional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

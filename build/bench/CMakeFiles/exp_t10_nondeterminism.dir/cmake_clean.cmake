@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t10_nondeterminism.dir/exp_t10_nondeterminism.cpp.o"
+  "CMakeFiles/exp_t10_nondeterminism.dir/exp_t10_nondeterminism.cpp.o.d"
+  "exp_t10_nondeterminism"
+  "exp_t10_nondeterminism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t10_nondeterminism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_t10_nondeterminism.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t1_statespace.dir/exp_t1_statespace.cpp.o"
+  "CMakeFiles/exp_t1_statespace.dir/exp_t1_statespace.cpp.o.d"
+  "exp_t1_statespace"
+  "exp_t1_statespace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t1_statespace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

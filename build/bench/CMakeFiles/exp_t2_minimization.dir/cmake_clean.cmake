@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t2_minimization.dir/exp_t2_minimization.cpp.o"
+  "CMakeFiles/exp_t2_minimization.dir/exp_t2_minimization.cpp.o.d"
+  "exp_t2_minimization"
+  "exp_t2_minimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t2_minimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

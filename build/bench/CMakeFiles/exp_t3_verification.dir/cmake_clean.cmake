@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t3_verification.dir/exp_t3_verification.cpp.o"
+  "CMakeFiles/exp_t3_verification.dir/exp_t3_verification.cpp.o.d"
+  "exp_t3_verification"
+  "exp_t3_verification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t3_verification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

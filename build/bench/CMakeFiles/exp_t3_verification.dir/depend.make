@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_t3_verification.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_t6_mpi_latency.dir/exp_t6_mpi_latency.cpp.o"
+  "CMakeFiles/exp_t6_mpi_latency.dir/exp_t6_mpi_latency.cpp.o.d"
+  "exp_t6_mpi_latency"
+  "exp_t6_mpi_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_t6_mpi_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

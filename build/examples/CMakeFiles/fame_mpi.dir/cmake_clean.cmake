@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fame_mpi.dir/fame_mpi.cpp.o"
+  "CMakeFiles/fame_mpi.dir/fame_mpi.cpp.o.d"
+  "fame_mpi"
+  "fame_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fame_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/faust_noc.dir/faust_noc.cpp.o"
+  "CMakeFiles/faust_noc.dir/faust_noc.cpp.o.d"
+  "faust_noc"
+  "faust_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/faust_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multival_cli.dir/multival_cli.cpp.o"
+  "CMakeFiles/multival_cli.dir/multival_cli.cpp.o.d"
+  "multival_cli"
+  "multival_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multival_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xstream_pipeline.dir/xstream_pipeline.cpp.o"
+  "CMakeFiles/xstream_pipeline.dir/xstream_pipeline.cpp.o.d"
+  "xstream_pipeline"
+  "xstream_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xstream_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,64 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bisim/branching.cpp" "src/CMakeFiles/multival.dir/bisim/branching.cpp.o" "gcc" "src/CMakeFiles/multival.dir/bisim/branching.cpp.o.d"
+  "/root/repo/src/bisim/equivalence.cpp" "src/CMakeFiles/multival.dir/bisim/equivalence.cpp.o" "gcc" "src/CMakeFiles/multival.dir/bisim/equivalence.cpp.o.d"
+  "/root/repo/src/bisim/partition.cpp" "src/CMakeFiles/multival.dir/bisim/partition.cpp.o" "gcc" "src/CMakeFiles/multival.dir/bisim/partition.cpp.o.d"
+  "/root/repo/src/bisim/strong.cpp" "src/CMakeFiles/multival.dir/bisim/strong.cpp.o" "gcc" "src/CMakeFiles/multival.dir/bisim/strong.cpp.o.d"
+  "/root/repo/src/bisim/trace.cpp" "src/CMakeFiles/multival.dir/bisim/trace.cpp.o" "gcc" "src/CMakeFiles/multival.dir/bisim/trace.cpp.o.d"
+  "/root/repo/src/compose/pipeline.cpp" "src/CMakeFiles/multival.dir/compose/pipeline.cpp.o" "gcc" "src/CMakeFiles/multival.dir/compose/pipeline.cpp.o.d"
+  "/root/repo/src/core/flow.cpp" "src/CMakeFiles/multival.dir/core/flow.cpp.o" "gcc" "src/CMakeFiles/multival.dir/core/flow.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/multival.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/multival.dir/core/report.cpp.o.d"
+  "/root/repo/src/fame/coherence.cpp" "src/CMakeFiles/multival.dir/fame/coherence.cpp.o" "gcc" "src/CMakeFiles/multival.dir/fame/coherence.cpp.o.d"
+  "/root/repo/src/fame/coherence_n.cpp" "src/CMakeFiles/multival.dir/fame/coherence_n.cpp.o" "gcc" "src/CMakeFiles/multival.dir/fame/coherence_n.cpp.o.d"
+  "/root/repo/src/fame/mpi.cpp" "src/CMakeFiles/multival.dir/fame/mpi.cpp.o" "gcc" "src/CMakeFiles/multival.dir/fame/mpi.cpp.o.d"
+  "/root/repo/src/fame/topology.cpp" "src/CMakeFiles/multival.dir/fame/topology.cpp.o" "gcc" "src/CMakeFiles/multival.dir/fame/topology.cpp.o.d"
+  "/root/repo/src/imc/compose.cpp" "src/CMakeFiles/multival.dir/imc/compose.cpp.o" "gcc" "src/CMakeFiles/multival.dir/imc/compose.cpp.o.d"
+  "/root/repo/src/imc/imc.cpp" "src/CMakeFiles/multival.dir/imc/imc.cpp.o" "gcc" "src/CMakeFiles/multival.dir/imc/imc.cpp.o.d"
+  "/root/repo/src/imc/imc_io.cpp" "src/CMakeFiles/multival.dir/imc/imc_io.cpp.o" "gcc" "src/CMakeFiles/multival.dir/imc/imc_io.cpp.o.d"
+  "/root/repo/src/imc/lump.cpp" "src/CMakeFiles/multival.dir/imc/lump.cpp.o" "gcc" "src/CMakeFiles/multival.dir/imc/lump.cpp.o.d"
+  "/root/repo/src/imc/scheduler.cpp" "src/CMakeFiles/multival.dir/imc/scheduler.cpp.o" "gcc" "src/CMakeFiles/multival.dir/imc/scheduler.cpp.o.d"
+  "/root/repo/src/lts/action_table.cpp" "src/CMakeFiles/multival.dir/lts/action_table.cpp.o" "gcc" "src/CMakeFiles/multival.dir/lts/action_table.cpp.o.d"
+  "/root/repo/src/lts/analysis.cpp" "src/CMakeFiles/multival.dir/lts/analysis.cpp.o" "gcc" "src/CMakeFiles/multival.dir/lts/analysis.cpp.o.d"
+  "/root/repo/src/lts/lts.cpp" "src/CMakeFiles/multival.dir/lts/lts.cpp.o" "gcc" "src/CMakeFiles/multival.dir/lts/lts.cpp.o.d"
+  "/root/repo/src/lts/lts_io.cpp" "src/CMakeFiles/multival.dir/lts/lts_io.cpp.o" "gcc" "src/CMakeFiles/multival.dir/lts/lts_io.cpp.o.d"
+  "/root/repo/src/lts/product.cpp" "src/CMakeFiles/multival.dir/lts/product.cpp.o" "gcc" "src/CMakeFiles/multival.dir/lts/product.cpp.o.d"
+  "/root/repo/src/markov/absorption.cpp" "src/CMakeFiles/multival.dir/markov/absorption.cpp.o" "gcc" "src/CMakeFiles/multival.dir/markov/absorption.cpp.o.d"
+  "/root/repo/src/markov/ctmc.cpp" "src/CMakeFiles/multival.dir/markov/ctmc.cpp.o" "gcc" "src/CMakeFiles/multival.dir/markov/ctmc.cpp.o.d"
+  "/root/repo/src/markov/dtmc.cpp" "src/CMakeFiles/multival.dir/markov/dtmc.cpp.o" "gcc" "src/CMakeFiles/multival.dir/markov/dtmc.cpp.o.d"
+  "/root/repo/src/markov/rewards.cpp" "src/CMakeFiles/multival.dir/markov/rewards.cpp.o" "gcc" "src/CMakeFiles/multival.dir/markov/rewards.cpp.o.d"
+  "/root/repo/src/markov/sparse.cpp" "src/CMakeFiles/multival.dir/markov/sparse.cpp.o" "gcc" "src/CMakeFiles/multival.dir/markov/sparse.cpp.o.d"
+  "/root/repo/src/markov/steady.cpp" "src/CMakeFiles/multival.dir/markov/steady.cpp.o" "gcc" "src/CMakeFiles/multival.dir/markov/steady.cpp.o.d"
+  "/root/repo/src/markov/transient.cpp" "src/CMakeFiles/multival.dir/markov/transient.cpp.o" "gcc" "src/CMakeFiles/multival.dir/markov/transient.cpp.o.d"
+  "/root/repo/src/mc/diagnostic.cpp" "src/CMakeFiles/multival.dir/mc/diagnostic.cpp.o" "gcc" "src/CMakeFiles/multival.dir/mc/diagnostic.cpp.o.d"
+  "/root/repo/src/mc/evaluator.cpp" "src/CMakeFiles/multival.dir/mc/evaluator.cpp.o" "gcc" "src/CMakeFiles/multival.dir/mc/evaluator.cpp.o.d"
+  "/root/repo/src/mc/formula.cpp" "src/CMakeFiles/multival.dir/mc/formula.cpp.o" "gcc" "src/CMakeFiles/multival.dir/mc/formula.cpp.o.d"
+  "/root/repo/src/mc/parser.cpp" "src/CMakeFiles/multival.dir/mc/parser.cpp.o" "gcc" "src/CMakeFiles/multival.dir/mc/parser.cpp.o.d"
+  "/root/repo/src/mc/properties.cpp" "src/CMakeFiles/multival.dir/mc/properties.cpp.o" "gcc" "src/CMakeFiles/multival.dir/mc/properties.cpp.o.d"
+  "/root/repo/src/noc/mesh.cpp" "src/CMakeFiles/multival.dir/noc/mesh.cpp.o" "gcc" "src/CMakeFiles/multival.dir/noc/mesh.cpp.o.d"
+  "/root/repo/src/noc/perf.cpp" "src/CMakeFiles/multival.dir/noc/perf.cpp.o" "gcc" "src/CMakeFiles/multival.dir/noc/perf.cpp.o.d"
+  "/root/repo/src/noc/router.cpp" "src/CMakeFiles/multival.dir/noc/router.cpp.o" "gcc" "src/CMakeFiles/multival.dir/noc/router.cpp.o.d"
+  "/root/repo/src/phase/fit.cpp" "src/CMakeFiles/multival.dir/phase/fit.cpp.o" "gcc" "src/CMakeFiles/multival.dir/phase/fit.cpp.o.d"
+  "/root/repo/src/phase/phase_type.cpp" "src/CMakeFiles/multival.dir/phase/phase_type.cpp.o" "gcc" "src/CMakeFiles/multival.dir/phase/phase_type.cpp.o.d"
+  "/root/repo/src/proc/expr.cpp" "src/CMakeFiles/multival.dir/proc/expr.cpp.o" "gcc" "src/CMakeFiles/multival.dir/proc/expr.cpp.o.d"
+  "/root/repo/src/proc/generator.cpp" "src/CMakeFiles/multival.dir/proc/generator.cpp.o" "gcc" "src/CMakeFiles/multival.dir/proc/generator.cpp.o.d"
+  "/root/repo/src/proc/parser.cpp" "src/CMakeFiles/multival.dir/proc/parser.cpp.o" "gcc" "src/CMakeFiles/multival.dir/proc/parser.cpp.o.d"
+  "/root/repo/src/proc/process.cpp" "src/CMakeFiles/multival.dir/proc/process.cpp.o" "gcc" "src/CMakeFiles/multival.dir/proc/process.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/multival.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/multival.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/xstream/perf.cpp" "src/CMakeFiles/multival.dir/xstream/perf.cpp.o" "gcc" "src/CMakeFiles/multival.dir/xstream/perf.cpp.o.d"
+  "/root/repo/src/xstream/queue_model.cpp" "src/CMakeFiles/multival.dir/xstream/queue_model.cpp.o" "gcc" "src/CMakeFiles/multival.dir/xstream/queue_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

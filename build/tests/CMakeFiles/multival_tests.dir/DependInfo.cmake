@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bisim_test.cpp" "tests/CMakeFiles/multival_tests.dir/bisim_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/bisim_test.cpp.o.d"
+  "/root/repo/tests/casestudy_ext_test.cpp" "tests/CMakeFiles/multival_tests.dir/casestudy_ext_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/casestudy_ext_test.cpp.o.d"
+  "/root/repo/tests/coherence_n_test.cpp" "tests/CMakeFiles/multival_tests.dir/coherence_n_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/coherence_n_test.cpp.o.d"
+  "/root/repo/tests/dtmc_test.cpp" "tests/CMakeFiles/multival_tests.dir/dtmc_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/dtmc_test.cpp.o.d"
+  "/root/repo/tests/edgecase_test.cpp" "tests/CMakeFiles/multival_tests.dir/edgecase_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/edgecase_test.cpp.o.d"
+  "/root/repo/tests/endtoend_test.cpp" "tests/CMakeFiles/multival_tests.dir/endtoend_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/endtoend_test.cpp.o.d"
+  "/root/repo/tests/fame_test.cpp" "tests/CMakeFiles/multival_tests.dir/fame_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/fame_test.cpp.o.d"
+  "/root/repo/tests/flow_test.cpp" "tests/CMakeFiles/multival_tests.dir/flow_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/flow_test.cpp.o.d"
+  "/root/repo/tests/imc_test.cpp" "tests/CMakeFiles/multival_tests.dir/imc_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/imc_test.cpp.o.d"
+  "/root/repo/tests/io_rewards_test.cpp" "tests/CMakeFiles/multival_tests.dir/io_rewards_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/io_rewards_test.cpp.o.d"
+  "/root/repo/tests/lts_test.cpp" "tests/CMakeFiles/multival_tests.dir/lts_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/lts_test.cpp.o.d"
+  "/root/repo/tests/markov_test.cpp" "tests/CMakeFiles/multival_tests.dir/markov_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/markov_test.cpp.o.d"
+  "/root/repo/tests/mc_test.cpp" "tests/CMakeFiles/multival_tests.dir/mc_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/mc_test.cpp.o.d"
+  "/root/repo/tests/mc_tools_test.cpp" "tests/CMakeFiles/multival_tests.dir/mc_tools_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/mc_tools_test.cpp.o.d"
+  "/root/repo/tests/noc_test.cpp" "tests/CMakeFiles/multival_tests.dir/noc_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/noc_test.cpp.o.d"
+  "/root/repo/tests/phase_test.cpp" "tests/CMakeFiles/multival_tests.dir/phase_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/phase_test.cpp.o.d"
+  "/root/repo/tests/proc_parser_test.cpp" "tests/CMakeFiles/multival_tests.dir/proc_parser_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/proc_parser_test.cpp.o.d"
+  "/root/repo/tests/proc_test.cpp" "tests/CMakeFiles/multival_tests.dir/proc_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/proc_test.cpp.o.d"
+  "/root/repo/tests/property_test.cpp" "tests/CMakeFiles/multival_tests.dir/property_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/property_test.cpp.o.d"
+  "/root/repo/tests/regression_test.cpp" "tests/CMakeFiles/multival_tests.dir/regression_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/regression_test.cpp.o.d"
+  "/root/repo/tests/scheduler_test.cpp" "tests/CMakeFiles/multival_tests.dir/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/scheduler_test.cpp.o.d"
+  "/root/repo/tests/xstream_test.cpp" "tests/CMakeFiles/multival_tests.dir/xstream_test.cpp.o" "gcc" "tests/CMakeFiles/multival_tests.dir/xstream_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/multival.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
