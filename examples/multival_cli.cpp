@@ -8,6 +8,8 @@
 //   multival_cli check <file.aut> '<mu-calculus formula>'
 //   multival_cli deadlocks <file.aut>
 //   multival_cli gen   <model.proc> <EntryProcess> [args...] [-o out.aut]
+//   multival_cli explore <model.proc> <EntryProcess> [args...]
+//       [-j N] [--dfs] [--fp [bits]] [-o out.aut|out.mvl]
 //   multival_cli solve <file.imc>       (aut with "rate r" labels)
 //   multival_cli check-file <file.aut> <props.mcl>
 //       props.mcl: one "name: formula" per line; '#' comments
@@ -28,6 +30,10 @@
 #include "imc/imc_io.hpp"
 #include "markov/absorption.hpp"
 #include "markov/steady.hpp"
+#include "core/report.hpp"
+#include "explore/engine.hpp"
+#include "explore/lts_stream.hpp"
+#include "explore/oracle.hpp"
 #include "proc/generator.hpp"
 #include "proc/parser.hpp"
 
@@ -171,6 +177,54 @@ int cmd_gen(int argc, char** argv) {
   return 0;
 }
 
+int cmd_explore(int argc, char** argv) {
+  // explore <model.proc> <Entry> [int args...] [-j N] [--dfs] [--fp [bits]]
+  //         [-o out.aut|out.mvl]
+  const std::string model_path = argv[2];
+  const std::string entry = argv[3];
+  std::vector<proc::Value> args;
+  std::string out_path;
+  explore::ExploreOptions opts;
+  for (int i = 4; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (a == "-j" && i + 1 < argc) {
+      opts.workers = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (a == "--dfs") {
+      opts.order = explore::Order::kDfs;
+    } else if (a == "--fp") {
+      opts.store = explore::StoreMode::kFingerprint;
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        opts.fingerprint_bits = static_cast<unsigned>(std::stoul(argv[++i]));
+      }
+    } else {
+      args.push_back(static_cast<proc::Value>(std::stol(a)));
+    }
+  }
+  std::ifstream in(model_path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + model_path);
+  }
+  const std::string text((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  auto program = std::make_shared<const proc::Program>(
+      proc::parse_program(text));
+  const explore::OraclePtr oracle = explore::proc_oracle(program, entry, args);
+  const explore::ExploreResult r = explore::explore(*oracle, opts);
+  r.stats.to_table(entry).print(std::cout);
+  if (!out_path.empty()) {
+    if (out_path.size() >= 4 &&
+        out_path.compare(out_path.size() - 4, 4, ".mvl") == 0) {
+      explore::save_lts_stream(out_path, r.lts);
+    } else {
+      save(r.lts, out_path);
+    }
+    std::cout << "written to " << out_path << "\n";
+  }
+  return 0;
+}
+
 int cmd_check_file(const std::string& aut_path,
                    const std::string& props_path) {
   const lts::Lts l = load(aut_path);
@@ -270,6 +324,8 @@ int usage() {
          "  multival_cli check <file.aut> '<formula>'\n"
          "  multival_cli deadlocks <file.aut>\n"
          "  multival_cli gen   <model.proc> <Entry> [args...] [-o out.aut]\n"
+         "  multival_cli explore <model.proc> <Entry> [args...] [-j N] "
+         "[--dfs] [--fp [bits]] [-o out.aut|out.mvl]\n"
          "  multival_cli solve <file.imc>\n"
          "  multival_cli check-file <file.aut> <props.mcl>\n"
          "  multival_cli dot   <file.aut> [out.dot]\n";
@@ -301,6 +357,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "gen" && argc >= 4) {
       return cmd_gen(argc, argv);
+    }
+    if (cmd == "explore" && argc >= 4) {
+      return cmd_explore(argc, argv);
     }
     if (cmd == "solve" && argc == 3) {
       return cmd_solve(argv[2]);

@@ -1,6 +1,7 @@
 #include "compose/pipeline.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 
 #include "lts/product.hpp"
@@ -56,8 +57,24 @@ NodePtr minimize_here(NodePtr p, bisim::Equivalence e) {
 
 namespace {
 
+/// Wall-clock timer for one pipeline step.
+class StepTimer {
+ public:
+  StepTimer() : start_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
 void record(EvalStats* stats, const std::string& what, const lts::Lts& l,
-            std::size_t states_before) {
+            std::size_t states_before, double seconds) {
+  core::record_generation(core::GenerationStat{
+      "pipeline: " + what, l.num_states(), l.num_transitions(), seconds});
   if (stats == nullptr) {
     return;
   }
@@ -65,27 +82,30 @@ void record(EvalStats* stats, const std::string& what, const lts::Lts& l,
   stats->peak_states = std::max(stats->peak_states, states_before);
   stats->peak_transitions =
       std::max(stats->peak_transitions, l.num_transitions());
-  stats->steps.push_back(StepStat{what, states_before, l.num_states()});
+  stats->steps.push_back(StepStat{what, states_before, l.num_states(), seconds});
 }
 
 lts::Lts eval_node(const Node& n, bool with_min, EvalStats* stats) {
   switch (n.kind) {
     case Node::Kind::kLeaf: {
+      const StepTimer timer;
       lts::Lts l = n.generator();
-      record(stats, "generate " + n.name, l, l.num_states());
+      record(stats, "generate " + n.name, l, l.num_states(), timer.seconds());
       return l;
     }
     case Node::Kind::kPar: {
       const lts::Lts a = eval_node(*n.children[0], with_min, stats);
       const lts::Lts b = eval_node(*n.children[1], with_min, stats);
+      const StepTimer timer;
       lts::Lts p = lts::parallel(a, b, n.gates);
-      record(stats, "compose", p, p.num_states());
+      record(stats, "compose", p, p.num_states(), timer.seconds());
       return p;
     }
     case Node::Kind::kHide: {
-      lts::Lts h =
-          lts::hide(eval_node(*n.children[0], with_min, stats), n.gates);
-      record(stats, "hide", h, h.num_states());
+      lts::Lts inner = eval_node(*n.children[0], with_min, stats);
+      const StepTimer timer;
+      lts::Lts h = lts::hide(inner, n.gates);
+      record(stats, "hide", h, h.num_states(), timer.seconds());
       return h;
     }
     case Node::Kind::kMinimize: {
@@ -94,9 +114,10 @@ lts::Lts eval_node(const Node& n, bool with_min, EvalStats* stats) {
         return inner;
       }
       const std::size_t before = inner.num_states();
+      const StepTimer timer;
       lts::Lts reduced =
           bisim::minimize(inner, n.equivalence).quotient;
-      record(stats, n.name, reduced, before);
+      record(stats, n.name, reduced, before, timer.seconds());
       return reduced;
     }
   }
@@ -104,6 +125,29 @@ lts::Lts eval_node(const Node& n, bool with_min, EvalStats* stats) {
 }
 
 }  // namespace
+
+double EvalStats::total_seconds() const {
+  double total = 0.0;
+  for (const StepStat& s : steps) {
+    total += s.seconds;
+  }
+  return total;
+}
+
+core::Table EvalStats::to_table(const std::string& title) const {
+  core::Table t(title, {"step", "states", "time (ms)"});
+  for (const StepStat& s : steps) {
+    const std::string size =
+        s.states_before == s.states_after
+            ? std::to_string(s.states_after)
+            : std::to_string(s.states_before) + " -> " +
+                  std::to_string(s.states_after);
+    t.add_row({s.description, size, core::fmt(s.seconds * 1e3, 2)});
+  }
+  t.add_row({"total (peak " + std::to_string(peak_states) + " states)", "",
+             core::fmt(total_seconds() * 1e3, 2)});
+  return t;
+}
 
 lts::Lts evaluate(const NodePtr& root, bool with_minimization,
                   EvalStats* stats) {

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bisim/equivalence.hpp"
+#include "core/report.hpp"
 #include "lts/lts.hpp"
 
 namespace multival::compose {
@@ -49,17 +50,25 @@ class Node {
 [[nodiscard]] NodePtr minimize_here(
     NodePtr p, bisim::Equivalence e = bisim::Equivalence::kBranching);
 
-/// One evaluation step's size record.
+/// One evaluation step's size and wall-time record.
 struct StepStat {
   std::string description;
   std::size_t states_before = 0;
   std::size_t states_after = 0;  // == before except at minimisation points
+  double seconds = 0.0;          // wall time of this step alone
 };
 
 struct EvalStats {
   std::size_t peak_states = 0;
   std::size_t peak_transitions = 0;
   std::vector<StepStat> steps;
+
+  /// Total wall time across all steps.
+  [[nodiscard]] double total_seconds() const;
+
+  /// step | states before -> after | time (ms) table for core::report-style
+  /// printing (every step is also pushed to core::record_generation).
+  [[nodiscard]] core::Table to_table(const std::string& title) const;
 };
 
 /// Evaluates the expression.  @p with_minimization toggles the minimisation

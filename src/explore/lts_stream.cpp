@@ -1,0 +1,227 @@
+#include "explore/lts_stream.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+
+namespace multival::explore {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'V', 'L', 'S'};
+constexpr std::uint8_t kVersion = 1;
+
+enum Record : std::uint8_t {
+  kEnd = 0x00,
+  kLabelDef = 0x01,
+  kTransition = 0x02,
+  kInitial = 0x03,
+  kStateCount = 0x04,
+};
+
+void put_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::istream& is) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const int c = is.get();
+    if (c == std::istream::traits_type::eof() || shift > 63) {
+      throw std::runtime_error("lts_stream: truncated varint");
+    }
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+}
+
+}  // namespace
+
+LtsStreamWriter::LtsStreamWriter(std::ostream& os) : os_(os) {
+  os_.write(kMagic, sizeof kMagic);
+  os_.put(static_cast<char>(kVersion));
+}
+
+std::uint32_t LtsStreamWriter::label_id(std::string_view label) {
+  const auto it = labels_.find(std::string(label));
+  if (it != labels_.end()) {
+    return it->second;
+  }
+  const auto id = static_cast<std::uint32_t>(labels_.size());
+  labels_.emplace(std::string(label), id);
+  os_.put(static_cast<char>(kLabelDef));
+  put_varint(os_, label.size());
+  os_.write(label.data(), static_cast<std::streamsize>(label.size()));
+  return id;
+}
+
+void LtsStreamWriter::add_transition(lts::StateId src, std::string_view label,
+                                     lts::StateId dst) {
+  if (finished_) {
+    throw std::logic_error("LtsStreamWriter: add_transition after finish");
+  }
+  const std::uint32_t id = label_id(label);
+  os_.put(static_cast<char>(kTransition));
+  put_varint(os_, src);
+  put_varint(os_, id);
+  put_varint(os_, dst);
+}
+
+void LtsStreamWriter::set_initial(lts::StateId s) {
+  if (finished_ || wrote_initial_) {
+    throw std::logic_error("LtsStreamWriter: duplicate or late set_initial");
+  }
+  wrote_initial_ = true;
+  os_.put(static_cast<char>(kInitial));
+  put_varint(os_, s);
+}
+
+void LtsStreamWriter::finish(std::size_t num_states) {
+  if (finished_) {
+    throw std::logic_error("LtsStreamWriter: finish called twice");
+  }
+  if (!wrote_initial_) {
+    throw std::logic_error("LtsStreamWriter: finish without set_initial");
+  }
+  finished_ = true;
+  os_.put(static_cast<char>(kStateCount));
+  put_varint(os_, num_states);
+  os_.put(static_cast<char>(kEnd));
+  os_.flush();
+  if (!os_) {
+    throw std::runtime_error("lts_stream: write failed");
+  }
+}
+
+void write_lts_stream(std::ostream& os, const lts::Lts& l) {
+  LtsStreamWriter w(os);
+  w.set_initial(l.initial_state());
+  for (const lts::Transition& t : l.all_transitions()) {
+    w.add_transition(t.src, l.actions().name(t.action), t.dst);
+  }
+  w.finish(l.num_states());
+}
+
+lts::Lts read_lts_stream(std::istream& is) {
+  char magic[4] = {};
+  is.read(magic, sizeof magic);
+  if (!is || std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    throw std::runtime_error("lts_stream: bad magic");
+  }
+  const int version = is.get();
+  if (version != kVersion) {
+    throw std::runtime_error("lts_stream: unsupported version " +
+                             std::to_string(version));
+  }
+
+  struct Pending {
+    std::uint64_t src, label, dst;
+  };
+  std::vector<std::string> labels;
+  std::vector<Pending> transitions;
+  std::uint64_t initial = 0;
+  std::uint64_t num_states = 0;
+  bool saw_initial = false;
+  bool saw_count = false;
+  bool saw_end = false;
+
+  while (!saw_end) {
+    const int rec = is.get();
+    if (rec == std::istream::traits_type::eof()) {
+      throw std::runtime_error("lts_stream: missing end record");
+    }
+    switch (rec) {
+      case kEnd:
+        saw_end = true;
+        break;
+      case kLabelDef: {
+        const std::uint64_t len = get_varint(is);
+        std::string label(len, '\0');
+        is.read(label.data(), static_cast<std::streamsize>(len));
+        if (!is) {
+          throw std::runtime_error("lts_stream: truncated label");
+        }
+        labels.push_back(std::move(label));
+        break;
+      }
+      case kTransition: {
+        Pending p{};
+        p.src = get_varint(is);
+        p.label = get_varint(is);
+        p.dst = get_varint(is);
+        if (p.label >= labels.size()) {
+          throw std::runtime_error("lts_stream: undefined label id");
+        }
+        transitions.push_back(p);
+        break;
+      }
+      case kInitial:
+        if (saw_initial) {
+          throw std::runtime_error("lts_stream: duplicate initial record");
+        }
+        saw_initial = true;
+        initial = get_varint(is);
+        break;
+      case kStateCount:
+        if (saw_count) {
+          throw std::runtime_error("lts_stream: duplicate state count");
+        }
+        saw_count = true;
+        num_states = get_varint(is);
+        break;
+      default:
+        throw std::runtime_error("lts_stream: unknown record type " +
+                                 std::to_string(rec));
+    }
+  }
+  if (!saw_initial || !saw_count) {
+    throw std::runtime_error("lts_stream: missing initial or state count");
+  }
+  for (const Pending& p : transitions) {
+    if (p.src >= num_states || p.dst >= num_states) {
+      throw std::runtime_error("lts_stream: transition state out of range");
+    }
+  }
+  if (num_states > 0 && initial >= num_states) {
+    throw std::runtime_error("lts_stream: initial state out of range");
+  }
+
+  lts::Lts out;
+  out.add_states(num_states);
+  if (num_states > 0) {
+    out.set_initial_state(static_cast<lts::StateId>(initial));
+  }
+  for (const Pending& p : transitions) {
+    out.add_transition(static_cast<lts::StateId>(p.src),
+                       std::string_view(labels[p.label]),
+                       static_cast<lts::StateId>(p.dst));
+  }
+  return out;
+}
+
+void save_lts_stream(const std::string& path, const lts::Lts& l) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) {
+    throw std::runtime_error("lts_stream: cannot write " + path);
+  }
+  write_lts_stream(os, l);
+}
+
+lts::Lts load_lts_stream(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    throw std::runtime_error("lts_stream: cannot open " + path);
+  }
+  return read_lts_stream(is);
+}
+
+}  // namespace multival::explore

@@ -1,0 +1,267 @@
+#include "explore/oracle.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+#include "lts/product.hpp"
+
+namespace multival::explore {
+
+namespace {
+
+// ---- small codec helpers ----------------------------------------------------
+
+std::string encode_u32(std::uint32_t v) {
+  std::string out(4, '\0');
+  for (int i = 0; i < 4; ++i) {
+    out[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+  return out;
+}
+
+std::uint32_t decode_u32(std::string_view bytes, const char* who) {
+  if (bytes.size() != 4) {
+    throw std::runtime_error(std::string(who) + ": malformed state");
+  }
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(bytes[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::string_view bytes, std::size_t& pos,
+                         const char* who) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= bytes.size() || shift > 63) {
+      throw std::runtime_error(std::string(who) + ": malformed state");
+    }
+    const auto b = static_cast<std::uint8_t>(bytes[pos++]);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+}
+
+// ---- LTS replay -------------------------------------------------------------
+
+class LtsOracle final : public SuccessorOracle {
+ public:
+  explicit LtsOracle(const lts::Lts& l) : lts_(l) {}
+
+  std::string initial() override { return encode_u32(lts_.initial_state()); }
+
+  void successors(std::string_view state, std::vector<Step>& out) override {
+    const lts::StateId s = decode_u32(state, "lts_oracle");
+    for (const lts::OutEdge& e : lts_.out(s)) {
+      out.push_back(Step{std::string(lts_.actions().name(e.action)),
+                         encode_u32(e.dst)});
+    }
+  }
+
+  OraclePtr clone() const override { return std::make_unique<LtsOracle>(lts_); }
+
+ private:
+  const lts::Lts& lts_;
+};
+
+// ---- IMC as an LTS-level oracle ---------------------------------------------
+
+class ImcOracle final : public SuccessorOracle {
+ public:
+  explicit ImcOracle(const imc::Imc& m) : imc_(m) {}
+
+  std::string initial() override { return encode_u32(imc_.initial_state()); }
+
+  void successors(std::string_view state, std::vector<Step>& out) override {
+    const imc::StateId s = decode_u32(state, "imc_oracle");
+    for (const imc::InterEdge& e : imc_.interactive(s)) {
+      out.push_back(Step{std::string(imc_.actions().name(e.action)),
+                         encode_u32(e.dst)});
+    }
+    for (const imc::MarkEdge& e : imc_.markovian(s)) {
+      std::ostringstream os;  // matches imc_io's rate_label
+      if (!e.label.empty()) {
+        os << e.label << "; ";
+      }
+      os << "rate " << e.rate;
+      out.push_back(Step{os.str(), encode_u32(e.dst)});
+    }
+  }
+
+  OraclePtr clone() const override { return std::make_unique<ImcOracle>(imc_); }
+
+ private:
+  const imc::Imc& imc_;
+};
+
+// ---- parallel composition ---------------------------------------------------
+
+class ProductOracle final : public SuccessorOracle {
+ public:
+  ProductOracle(OraclePtr a, OraclePtr b, std::vector<std::string> sync_gates)
+      : a_(std::move(a)),
+        b_(std::move(b)),
+        gates_(std::move(sync_gates)),
+        sync_(gates_.begin(), gates_.end()) {}
+
+  std::string initial() override {
+    return pack(a_->initial(), b_->initial());
+  }
+
+  void successors(std::string_view state, std::vector<Step>& out) override {
+    std::size_t pos = 0;
+    const std::string_view sa = unpack(state, pos);
+    const std::string_view sb = unpack(state, pos);
+    if (pos != state.size()) {
+      throw std::runtime_error("product_oracle: malformed state");
+    }
+    moves_a_.clear();
+    moves_b_.clear();
+    a_->successors(sa, moves_a_);
+    b_->successors(sb, moves_b_);
+
+    // Independent moves of a, of b, then synchronised pairs — the same
+    // order as lts::parallel, so the two constructions are comparable.
+    for (const Step& ma : moves_a_) {
+      if (!must_sync(ma.label)) {
+        out.push_back(Step{ma.label, pack(ma.dst, sb)});
+      }
+    }
+    for (const Step& mb : moves_b_) {
+      if (!must_sync(mb.label)) {
+        out.push_back(Step{mb.label, pack(sa, mb.dst)});
+      }
+    }
+    for (const Step& ma : moves_a_) {
+      if (!must_sync(ma.label)) {
+        continue;
+      }
+      for (const Step& mb : moves_b_) {
+        if (mb.label == ma.label) {
+          out.push_back(Step{ma.label, pack(ma.dst, mb.dst)});
+        }
+      }
+    }
+  }
+
+  OraclePtr clone() const override {
+    return std::make_unique<ProductOracle>(a_->clone(), b_->clone(), gates_);
+  }
+
+ private:
+  [[nodiscard]] bool must_sync(std::string_view label) const {
+    if (label == "i") {
+      return false;
+    }
+    if (label == "exit") {
+      return true;
+    }
+    return sync_.find(std::string(lts::label_gate(label))) != sync_.end();
+  }
+
+  static std::string pack(std::string_view sa, std::string_view sb) {
+    std::string out;
+    out.reserve(sa.size() + sb.size() + 4);
+    put_varint(out, sa.size());
+    out += sa;
+    put_varint(out, sb.size());
+    out += sb;
+    return out;
+  }
+
+  static std::string_view unpack(std::string_view state, std::size_t& pos) {
+    const std::uint64_t len = get_varint(state, pos, "product_oracle");
+    if (pos + len > state.size()) {
+      throw std::runtime_error("product_oracle: malformed state");
+    }
+    const std::string_view part = state.substr(pos, len);
+    pos += len;
+    return part;
+  }
+
+  OraclePtr a_;
+  OraclePtr b_;
+  std::vector<std::string> gates_;
+  std::unordered_set<std::string> sync_;
+  std::vector<Step> moves_a_;  // scratch, reused across calls
+  std::vector<Step> moves_b_;
+};
+
+// ---- hiding -----------------------------------------------------------------
+
+class HideOracle final : public SuccessorOracle {
+ public:
+  HideOracle(OraclePtr inner, std::vector<std::string> gates)
+      : inner_(std::move(inner)),
+        gates_(std::move(gates)),
+        hidden_(gates_.begin(), gates_.end()) {}
+
+  std::string initial() override { return inner_->initial(); }
+
+  void successors(std::string_view state, std::vector<Step>& out) override {
+    const std::size_t first = out.size();
+    inner_->successors(state, out);
+    for (std::size_t i = first; i < out.size(); ++i) {
+      Step& s = out[i];
+      if (s.label != "i" && s.label != "exit" &&
+          hidden_.find(std::string(lts::label_gate(s.label))) !=
+              hidden_.end()) {
+        s.label = "i";
+      }
+    }
+  }
+
+  OraclePtr clone() const override {
+    return std::make_unique<HideOracle>(inner_->clone(), gates_);
+  }
+
+ private:
+  OraclePtr inner_;
+  std::vector<std::string> gates_;
+  std::unordered_set<std::string> hidden_;
+};
+
+}  // namespace
+
+OraclePtr lts_oracle(const lts::Lts& l) {
+  return std::make_unique<LtsOracle>(l);
+}
+
+OraclePtr imc_oracle(const imc::Imc& m) {
+  return std::make_unique<ImcOracle>(m);
+}
+
+OraclePtr product_oracle(OraclePtr a, OraclePtr b,
+                         std::vector<std::string> sync_gates) {
+  if (a == nullptr || b == nullptr) {
+    throw std::invalid_argument("product_oracle: null operand");
+  }
+  return std::make_unique<ProductOracle>(std::move(a), std::move(b),
+                                         std::move(sync_gates));
+}
+
+OraclePtr hide_oracle(OraclePtr inner, std::vector<std::string> gates) {
+  if (inner == nullptr) {
+    throw std::invalid_argument("hide_oracle: null operand");
+  }
+  return std::make_unique<HideOracle>(std::move(inner), std::move(gates));
+}
+
+}  // namespace multival::explore

@@ -1,0 +1,91 @@
+#include "explore/state_store.hpp"
+
+#include <stdexcept>
+
+namespace multival::explore {
+
+namespace {
+
+// FNV-1a with two different offset bases: the primary drives the
+// fingerprint, the secondary the collision-check hash.  They must be
+// independent functions of the bytes — deriving the check from the primary
+// would make collisions of a full-width fingerprint undetectable.
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t fnv1a(std::string_view bytes, std::uint64_t basis) {
+  std::uint64_t h = basis;
+  for (const char c : bytes) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool is_power_of_two(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+StateStore::StateStore() : StateStore(Options{}) {}
+
+StateStore::StateStore(const Options& options) : options_(options) {
+  if (!is_power_of_two(options_.stripes)) {
+    throw std::invalid_argument("StateStore: stripes must be a power of two");
+  }
+  if (options_.fingerprint_bits < 1 || options_.fingerprint_bits > 64) {
+    throw std::invalid_argument("StateStore: fingerprint_bits out of range");
+  }
+  mask_ = options_.fingerprint_bits == 64
+              ? ~0ull
+              : (1ull << options_.fingerprint_bits) - 1;
+  stripes_.reserve(options_.stripes);
+  for (unsigned i = 0; i < options_.stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+StateStore::Inserted StateStore::insert(std::string_view state) {
+  const std::uint64_t primary = fnv1a(state, 14695981039346656037ull);
+
+  if (options_.mode == StoreMode::kExact) {
+    Stripe& stripe =
+        *stripes_[splitmix64(primary) & (stripes_.size() - 1)];
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    const auto it = stripe.exact.find(std::string(state));
+    if (it != stripe.exact.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return Inserted{it->second, false};
+    }
+    const lts::StateId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+    stripe.exact.emplace(std::string(state), id);
+    return Inserted{id, true};
+  }
+
+  const std::uint64_t key = primary & mask_;
+  const auto check = static_cast<std::uint32_t>(
+      fnv1a(state, 0xcbf29ce484222325ull ^ 0x9e3779b97f4a7c15ull) >> 32);
+  // Stripe selection must depend on the (masked) key only, so that two
+  // states sharing a fingerprint always land in the same shard.
+  Stripe& stripe = *stripes_[splitmix64(key) & (stripes_.size() - 1)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  const auto it = stripe.compact.find(key);
+  if (it != stripe.compact.end()) {
+    if (it->second.first != check) {
+      collisions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return Inserted{it->second.second, false};
+  }
+  const lts::StateId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  stripe.compact.emplace(key, std::make_pair(check, id));
+  return Inserted{id, true};
+}
+
+}  // namespace multival::explore

@@ -1,0 +1,94 @@
+// Concurrent hash-compacted state store for the exploration engine.
+//
+// Maps canonical state encodings to dense ids, allocated in first-insert
+// order.  Lock-striped: the key space is split over independent
+// mutex-protected shards, so worker threads rarely contend.  Two memory
+// modes:
+//
+//   kExact        — stores the full state bytes; no false dedup ever.
+//   kFingerprint  — stores only a fingerprint of the state (Holzmann-style
+//                   hash compaction).  Two distinct states may collide on
+//                   the fingerprint, in which case the second is treated as
+//                   already visited (its subtree may be truncated).  A
+//                   32-bit independent check hash detects (and counts) the
+//                   vast majority of such collisions; `collisions()` is
+//                   therefore a lower bound, zero in exact mode.
+//
+// `fingerprint_bits` narrows the fingerprint below 64 bits (mainly to make
+// collisions reproducible in tests).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "lts/lts.hpp"
+
+namespace multival::explore {
+
+enum class StoreMode {
+  kExact,
+  kFingerprint,
+};
+
+class StateStore {
+ public:
+  struct Options {
+    StoreMode mode = StoreMode::kExact;
+    int fingerprint_bits = 64;  ///< 1..64, kFingerprint only
+    unsigned stripes = 64;      ///< number of lock stripes (power of two)
+  };
+
+  struct Inserted {
+    lts::StateId id = 0;
+    bool fresh = false;  ///< true iff this call created the id
+  };
+
+  StateStore();  // exact mode, 64 stripes
+  explicit StateStore(const Options& options);
+
+  /// Returns the id of @p state, allocating the next dense id if unseen.
+  /// Thread-safe.
+  Inserted insert(std::string_view state);
+
+  /// Number of distinct ids allocated.
+  [[nodiscard]] std::size_t size() const {
+    return next_id_.load(std::memory_order_relaxed);
+  }
+
+  /// Inserts that found an existing entry (states seen more than once).
+  [[nodiscard]] std::uint64_t dedup_hits() const {
+    return hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Detected fingerprint collisions (distinct states merged); 0 in exact
+  /// mode.
+  [[nodiscard]] std::uint64_t collisions() const {
+    return collisions_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] StoreMode mode() const { return options_.mode; }
+
+ private:
+  struct Stripe {
+    std::mutex mu;
+    std::unordered_map<std::string, lts::StateId> exact;
+    // fingerprint -> (check hash, id)
+    std::unordered_map<std::uint64_t, std::pair<std::uint32_t, lts::StateId>>
+        compact;
+  };
+
+  Options options_;
+  std::uint64_t mask_ = ~0ull;
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  std::atomic<std::uint32_t> next_id_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> collisions_{0};
+};
+
+}  // namespace multival::explore

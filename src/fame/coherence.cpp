@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/report.hpp"
 #include "lts/analysis.hpp"
 #include "proc/generator.hpp"
 
@@ -241,7 +242,7 @@ std::string add_swmr_observer(proc::Program& program, const std::string& line,
   return name;
 }
 
-lts::Lts coherence_system_lts(Protocol protocol) {
+proc::Program coherence_system_program(Protocol protocol) {
   Program p;
   const std::string line = "M";
   const std::string sys = add_coherent_line(p, line, protocol);
@@ -267,7 +268,14 @@ lts::Lts coherence_system_lts(Protocol protocol) {
            par(par(call(sys), operation_gates(line),
                    interleaving(call("Driver0"), call("Driver1"))),
                watched, call(obs, {lit(0), lit(0)})));
-  return lts::trim(generate(p, "System")).lts;
+  return p;
+}
+
+lts::Lts coherence_system_lts(Protocol protocol) {
+  const Program p = coherence_system_program(protocol);
+  return core::timed_generation(
+      std::string("fame: coherence system (") + to_string(protocol) + ")",
+      [&] { return lts::trim(generate(p, "System")).lts; });
 }
 
 }  // namespace multival::fame

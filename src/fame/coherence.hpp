@@ -61,8 +61,14 @@ enum class Protocol { kMsi, kMesi };
                                             const std::string& line,
                                             Protocol protocol);
 
-/// Closed verification system: one line, free read/write drivers on both
-/// nodes, observer attached; transaction gates visible.
+/// Closed verification system as a process program: one line, free
+/// read/write drivers on both nodes, observer attached; transaction gates
+/// visible.  Entry process "System".  This is what the on-the-fly
+/// exploration engine (src/explore) consumes.
+[[nodiscard]] proc::Program coherence_system_program(Protocol protocol);
+
+/// Generated LTS of coherence_system_program (trimmed); generation time is
+/// recorded in core::report's generation log.
 [[nodiscard]] lts::Lts coherence_system_lts(Protocol protocol);
 
 }  // namespace multival::fame

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/report.hpp"
 #include "lts/analysis.hpp"
 #include "proc/generator.hpp"
 
@@ -314,7 +315,7 @@ std::string add_coherent_line_n(proc::Program& program,
   return entry;
 }
 
-lts::Lts coherence_system_n_lts(Protocol protocol, int nodes) {
+proc::Program coherence_system_n_program(Protocol protocol, int nodes) {
   check_nodes(nodes);
   Program p;
   const std::string line = "M";
@@ -347,7 +348,15 @@ lts::Lts coherence_system_n_lts(Protocol protocol, int nodes) {
   p.define("SystemN", {},
            par(par(call(sys), gates_n(line, nodes, false), drivers), watched,
                call("ObsN_" + line, std::move(obs_args))));
-  return lts::trim(generate(p, "SystemN")).lts;
+  return p;
+}
+
+lts::Lts coherence_system_n_lts(Protocol protocol, int nodes) {
+  const Program p = coherence_system_n_program(protocol, nodes);
+  return core::timed_generation(
+      std::string("fame: coherence system (") + to_string(protocol) + ", " +
+          std::to_string(nodes) + " nodes)",
+      [&] { return lts::trim(generate(p, "SystemN")).lts; });
 }
 
 }  // namespace multival::fame

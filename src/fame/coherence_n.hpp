@@ -22,8 +22,14 @@ namespace multival::fame {
                                               const std::string& line,
                                               Protocol protocol, int nodes);
 
-/// Closed verification system: one line, free read/write/flush drivers on
-/// all @p nodes, plus an SWMR observer raising ERR_<line>.
+/// Closed verification system as a process program: one line, free
+/// read/write/flush drivers on all @p nodes, plus an SWMR observer raising
+/// ERR_<line>.  Entry process "SystemN".
+[[nodiscard]] proc::Program coherence_system_n_program(Protocol protocol,
+                                                      int nodes);
+
+/// Generated LTS of coherence_system_n_program (trimmed); generation time
+/// is recorded in core::report's generation log.
 [[nodiscard]] lts::Lts coherence_system_n_lts(Protocol protocol, int nodes);
 
 }  // namespace multival::fame

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/report.hpp"
 #include "lts/analysis.hpp"
 #include "proc/generator.hpp"
 
@@ -112,8 +113,8 @@ proc::Program mesh_program(const MeshDims& dims) {
   return p;
 }
 
-lts::Lts single_packet_lts(int src, int dst, bool hide_links,
-                           const MeshDims& dims) {
+proc::Program single_packet_program(int src, int dst, bool hide_links,
+                                    const MeshDims& dims) {
   check_node(dims, src);
   check_node(dims, dst);
   Program p = mesh_program(dims);
@@ -126,13 +127,22 @@ lts::Lts single_packet_lts(int src, int dst, bool hide_links,
     scenario = hide(mesh_link_gates(dims), scenario);
   }
   p.define("Scenario", {}, std::move(scenario));
-  return lts::trim(generate(p, "Scenario")).lts;
+  return p;
 }
 
-lts::Lts stream_lts(const std::vector<Flow>& flows, bool hide_links,
-                    const MeshDims& dims) {
+lts::Lts single_packet_lts(int src, int dst, bool hide_links,
+                           const MeshDims& dims) {
+  const Program p = single_packet_program(src, dst, hide_links, dims);
+  return core::timed_generation(
+      "noc: single packet " + std::to_string(src) + "->" +
+          std::to_string(dst),
+      [&] { return lts::trim(generate(p, "Scenario")).lts; });
+}
+
+proc::Program stream_program(const std::vector<Flow>& flows, bool hide_links,
+                             const MeshDims& dims) {
   if (flows.empty()) {
-    throw std::invalid_argument("stream_lts: no flows");
+    throw std::invalid_argument("stream_program: no flows");
   }
   Program p = mesh_program(dims);
   TermPtr envs;
@@ -153,7 +163,15 @@ lts::Lts stream_lts(const std::vector<Flow>& flows, bool hide_links,
     scenario = hide(mesh_link_gates(dims), scenario);
   }
   p.define("Scenario", {}, std::move(scenario));
-  return lts::trim(generate(p, "Scenario")).lts;
+  return p;
+}
+
+lts::Lts stream_lts(const std::vector<Flow>& flows, bool hide_links,
+                    const MeshDims& dims) {
+  const Program p = stream_program(flows, hide_links, dims);
+  return core::timed_generation(
+      "noc: stream (" + std::to_string(flows.size()) + " flows)",
+      [&] { return lts::trim(generate(p, "Scenario")).lts; });
 }
 
 }  // namespace multival::noc

@@ -24,6 +24,11 @@ namespace multival::noc {
 
 /// One packet injected at @p src for @p dst; the environment then waits for
 /// the delivery and stops.  Link gates stay visible unless @p hide_links.
+/// The *_program variant exposes the closed scenario (entry "Scenario")
+/// for on-the-fly exploration.
+[[nodiscard]] proc::Program single_packet_program(int src, int dst,
+                                                  bool hide_links = true,
+                                                  const MeshDims& dims = {});
 [[nodiscard]] lts::Lts single_packet_lts(int src, int dst,
                                          bool hide_links = true,
                                          const MeshDims& dims = {});
@@ -34,7 +39,10 @@ struct Flow {
   int dst = 0;
 };
 
-/// Closed mesh under the given continuous flows.
+/// Closed mesh under the given continuous flows (entry "Scenario").
+[[nodiscard]] proc::Program stream_program(const std::vector<Flow>& flows,
+                                           bool hide_links = true,
+                                           const MeshDims& dims = {});
 [[nodiscard]] lts::Lts stream_lts(const std::vector<Flow>& flows,
                                   bool hide_links = true,
                                   const MeshDims& dims = {});

@@ -92,10 +92,54 @@ struct GAction {
 
 using Successor = std::pair<GAction, CfgId>;
 
+// ---- canonical state encoding helpers ---------------------------------------
+
+void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t get_varint(std::string_view bytes, std::size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos >= bytes.size() || shift > 63) {
+      throw std::runtime_error("TermExplorer: malformed state (varint)");
+    }
+    const auto b = static_cast<std::uint8_t>(bytes[pos++]);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) {
+      return v;
+    }
+    shift += 7;
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint64_t get_u64(std::string_view bytes, std::size_t& pos) {
+  if (pos + 8 > bytes.size()) {
+    throw std::runtime_error("TermExplorer: malformed state (pointer)");
+  }
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[pos++]))
+         << (8 * i);
+  }
+  return v;
+}
+
 class Generator {
  public:
   Generator(const Program& program, const GenerateOptions& options)
-      : program_(program), options_(options) {}
+      : program_(program), options_(options), stop_term_(stop()) {}
 
   Lts run(const TermPtr& root) {
     root_keepalive_ = root;
@@ -159,7 +203,142 @@ class Generator {
     return result;
   }
 
+  // ---- TermExplorer support ----------------------------------------------
+
+  CfgId lift_root(const TermPtr& root) {
+    root_keepalive_ = root;
+    return lift(root.get(), Env{}, 0);
+  }
+
+  std::vector<Successor> successors_of(CfgId id) { return transitions(id, 0); }
+
+  /// Canonical byte encoding of a configuration.  Leaf/operator terms are
+  /// identified by their address in the shared term tree (stable across
+  /// Generators over the same Program/root); the ubiquitous "stop" leaf is
+  /// encoded structurally so that every Generator's private stop term
+  /// canonicalises to the same bytes.
+  std::string encode(CfgId id) const {
+    std::string out;
+    encode_cfg(id, out);
+    return out;
+  }
+
+  CfgId decode(std::string_view bytes) {
+    std::size_t pos = 0;
+    const CfgId id = decode_cfg(bytes, pos);
+    if (pos != bytes.size()) {
+      throw std::runtime_error("TermExplorer: malformed state (trailing)");
+    }
+    return id;
+  }
+
  private:
+  enum : char {
+    kTagLeaf = 0,
+    kTagPar = 1,
+    kTagSeq = 2,
+    kTagHide = 3,
+    kTagRename = 4,
+    kTagStop = 5,
+  };
+
+  void encode_env(const Env& env, std::string& out) const {
+    put_varint(out, env.size());
+    for (const auto& [name, value] : env.entries()) {
+      put_varint(out, name.size());
+      out += name;
+      put_varint(out, static_cast<std::uint32_t>(value));
+    }
+  }
+
+  Env decode_env(std::string_view bytes, std::size_t& pos) const {
+    Env env;
+    const std::uint64_t n = get_varint(bytes, pos);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      const std::uint64_t len = get_varint(bytes, pos);
+      if (pos + len > bytes.size()) {
+        throw std::runtime_error("TermExplorer: malformed state (env)");
+      }
+      const std::string name(bytes.substr(pos, len));
+      pos += len;
+      env.bind(name, static_cast<Value>(
+                         static_cast<std::uint32_t>(get_varint(bytes, pos))));
+    }
+    return env;
+  }
+
+  void encode_cfg(CfgId id, std::string& out) const {
+    const Config& c = arena_[id];
+    switch (c.kind) {
+      case Config::Kind::kLeaf:
+        if (c.term->kind() == Term::Kind::kStop) {
+          out.push_back(kTagStop);
+          return;
+        }
+        out.push_back(kTagLeaf);
+        put_u64(out, reinterpret_cast<std::uintptr_t>(c.term));
+        encode_env(c.env, out);
+        return;
+      case Config::Kind::kPar:
+        out.push_back(kTagPar);
+        put_u64(out, reinterpret_cast<std::uintptr_t>(c.term));
+        encode_cfg(c.left, out);
+        encode_cfg(c.right, out);
+        return;
+      case Config::Kind::kSeq:
+        out.push_back(kTagSeq);
+        put_u64(out, reinterpret_cast<std::uintptr_t>(c.term));
+        encode_cfg(c.left, out);
+        encode_env(c.env, out);
+        return;
+      case Config::Kind::kHide:
+      case Config::Kind::kRename:
+        out.push_back(c.kind == Config::Kind::kHide ? kTagHide : kTagRename);
+        put_u64(out, reinterpret_cast<std::uintptr_t>(c.term));
+        encode_cfg(c.left, out);
+        return;
+    }
+    throw std::logic_error("encode_cfg: bad config kind");
+  }
+
+  CfgId decode_cfg(std::string_view bytes, std::size_t& pos) {
+    if (pos >= bytes.size()) {
+      throw std::runtime_error("TermExplorer: malformed state (empty)");
+    }
+    const char tag = bytes[pos++];
+    Config c;
+    switch (tag) {
+      case kTagStop:
+        return stopped();
+      case kTagLeaf:
+        c.kind = Config::Kind::kLeaf;
+        c.term = reinterpret_cast<const Term*>(get_u64(bytes, pos));
+        c.env = decode_env(bytes, pos);
+        break;
+      case kTagPar:
+        c.kind = Config::Kind::kPar;
+        c.term = reinterpret_cast<const Term*>(get_u64(bytes, pos));
+        c.left = decode_cfg(bytes, pos);
+        c.right = decode_cfg(bytes, pos);
+        break;
+      case kTagSeq:
+        c.kind = Config::Kind::kSeq;
+        c.term = reinterpret_cast<const Term*>(get_u64(bytes, pos));
+        c.left = decode_cfg(bytes, pos);
+        c.env = decode_env(bytes, pos);
+        break;
+      case kTagHide:
+      case kTagRename:
+        c.kind = tag == kTagHide ? Config::Kind::kHide : Config::Kind::kRename;
+        c.term = reinterpret_cast<const Term*>(get_u64(bytes, pos));
+        c.left = decode_cfg(bytes, pos);
+        break;
+      default:
+        throw std::runtime_error("TermExplorer: malformed state (tag)");
+    }
+    return intern(std::move(c));
+  }
+
   // ---- configuration interning -------------------------------------------
 
   CfgId intern(Config c) {
@@ -178,7 +357,7 @@ class Generator {
   CfgId stopped() {
     Config c;
     c.kind = Config::Kind::kLeaf;
-    c.term = stop().get();
+    c.term = stop_term_.get();
     return intern(std::move(c));
   }
 
@@ -451,6 +630,7 @@ class Generator {
   const Program& program_;
   GenerateOptions options_;
   TermPtr root_keepalive_;
+  TermPtr stop_term_;  // keeps the private stop leaf alive for interning
   std::deque<Config> arena_;
   std::unordered_map<Config, CfgId, ConfigHash> ids_;
   std::unordered_map<CfgId, StateId> cfg_to_state_;
@@ -489,6 +669,42 @@ DeadlockSearchResult find_deadlock(const Program& program,
   }
   Generator gen(program, options);
   return gen.run_find_deadlock(call(entry, std::move(arg_exprs)));
+}
+
+// ---- TermExplorer -----------------------------------------------------------
+
+struct TermExplorer::Impl {
+  Impl(const Program& program, TermPtr root, const GenerateOptions& options)
+      : gen(program, options), root(std::move(root)) {}
+
+  Generator gen;
+  TermPtr root;
+};
+
+TermExplorer::TermExplorer(const Program& program, TermPtr root,
+                           const GenerateOptions& options) {
+  if (root == nullptr) {
+    throw std::invalid_argument("TermExplorer: null root");
+  }
+  impl_ = std::make_unique<Impl>(program, std::move(root), options);
+}
+
+TermExplorer::TermExplorer(TermExplorer&&) noexcept = default;
+TermExplorer& TermExplorer::operator=(TermExplorer&&) noexcept = default;
+TermExplorer::~TermExplorer() = default;
+
+std::string TermExplorer::initial() {
+  return impl_->gen.encode(impl_->gen.lift_root(impl_->root));
+}
+
+std::vector<TermExplorer::Move> TermExplorer::successors(
+    std::string_view state) {
+  const CfgId id = impl_->gen.decode(state);
+  std::vector<Move> out;
+  for (const Successor& suc : impl_->gen.successors_of(id)) {
+    out.push_back(Move{suc.first.label(), impl_->gen.encode(suc.second)});
+  }
+  return out;
 }
 
 }  // namespace multival::proc

@@ -10,8 +10,10 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "lts/lts.hpp"
@@ -60,5 +62,42 @@ struct DeadlockSearchResult {
 [[nodiscard]] DeadlockSearchResult find_deadlock(
     const Program& program, std::string_view entry,
     std::vector<Value> args = {}, const GenerateOptions& options = {});
+
+/// On-the-fly successor enumeration over hash-consed runtime configurations
+/// — the role OPEN/CAESAR plays for CADP.  States are canonical byte
+/// strings; two TermExplorer instances sharing the *same* Program object
+/// and root term produce identical encodings, which is what lets the
+/// parallel exploration engine (src/explore) hand each worker thread its
+/// own TermExplorer while all workers agree on state identity.
+///
+/// Encodings embed interior pointers into the shared term tree: they are
+/// process-local tokens, not a wire format.  `successors` only accepts
+/// strings previously produced by `initial`/`successors` of an explorer
+/// over the same program and root.
+class TermExplorer {
+ public:
+  struct Move {
+    std::string label;  ///< "i", "exit", or "GATE !v1 !v2"
+    std::string dst;    ///< canonical encoding of the successor state
+  };
+
+  /// @p program and @p root must outlive the explorer.
+  TermExplorer(const Program& program, TermPtr root,
+               const GenerateOptions& options = {});
+  TermExplorer(TermExplorer&&) noexcept;
+  TermExplorer& operator=(TermExplorer&&) noexcept;
+  ~TermExplorer();
+
+  /// Canonical encoding of the initial configuration.
+  [[nodiscard]] std::string initial();
+
+  /// Transitions of the configuration encoded by @p state, in the
+  /// deterministic order of the SOS rules.
+  [[nodiscard]] std::vector<Move> successors(std::string_view state);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
 
 }  // namespace multival::proc

@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "core/report.hpp"
 #include "lts/analysis.hpp"
 #include "lts/product.hpp"
 #include "proc/generator.hpp"
@@ -181,7 +182,10 @@ Program virtual_queue_program(const QueueConfig& cfg) {
 
 lts::Lts virtual_queue_lts_open(const QueueConfig& cfg) {
   const Program p = virtual_queue_program(cfg);
-  return lts::trim(generate(p, "VirtualQueue")).lts;
+  return core::timed_generation(
+      std::string("xstream: virtual queue (") + to_string(cfg.variant) +
+          ", cap " + std::to_string(cfg.capacity) + ")",
+      [&] { return lts::trim(generate(p, "VirtualQueue")).lts; });
 }
 
 lts::Lts virtual_queue_lts(const QueueConfig& cfg) {
@@ -223,7 +227,9 @@ lts::Lts reference_fifo_lts(const QueueConfig& cfg) {
   p.define("Fifo", std::move(params), choice(std::move(branches)));
 
   std::vector<proc::Value> init(static_cast<std::size_t>(cap) + 1, 0);
-  return generate(p, "Fifo", init);
+  return core::timed_generation(
+      "xstream: reference fifo (cap " + std::to_string(cap) + ")",
+      [&] { return generate(p, "Fifo", init); });
 }
 
 }  // namespace multival::xstream
