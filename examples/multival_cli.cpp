@@ -28,6 +28,7 @@
 #include "mc/parser.hpp"
 #include "core/flow.hpp"
 #include "imc/imc_io.hpp"
+#include "imc/scheduler.hpp"
 #include "markov/absorption.hpp"
 #include "markov/steady.hpp"
 #include "core/report.hpp"
@@ -255,15 +256,41 @@ int cmd_check_file(const std::string& aut_path,
   return failures == 0 ? 0 : 1;
 }
 
-int cmd_solve(const std::string& path) {
+int cmd_solve(const std::string& path, bool stats) {
   std::ifstream in(path);
   if (!in) {
     throw std::runtime_error("cannot open " + path);
   }
+  const core::SolveContext solve_ctx(path);
   const imc::Imc m = imc::read_aut(in);
   std::cout << path << ": " << m.num_states() << " states, "
             << m.num_interactive() << " interactive + " << m.num_markovian()
             << " markovian transitions\n";
+
+  // Residual interactive nondeterminism: no single CTMC exists, so report
+  // certified scheduler bounds (interval iteration, midpoints exact to the
+  // solver tolerance) instead of a point value.
+  bool nondet = false;
+  for (imc::StateId s = 0; s < m.num_states(); ++s) {
+    nondet = nondet || m.interactive(s).size() > 1;
+  }
+  if (nondet) {
+    std::cout << "nondeterministic IMC: reporting scheduler bounds\n";
+    const imc::Bounds tb = imc::absorption_time_bounds(m);
+    std::cout << "expected time to absorption in [" << tb.min << ", "
+              << tb.max << "]\n";
+    std::vector<bool> absorbing(m.num_states(), false);
+    for (imc::StateId s = 0; s < m.num_states(); ++s) {
+      absorbing[s] = m.interactive(s).empty() && m.markovian(s).empty();
+    }
+    const imc::Bounds rb = imc::reachability_bounds(m, absorbing);
+    std::cout << "P[eventual absorption] in [" << rb.min << ", " << rb.max
+              << "]\n";
+    if (stats) {
+      core::solve_table().print(std::cout);
+    }
+    return 0;
+  }
   const core::ClosedModel closed = core::close_model(m);
   std::cout << "closed CTMC: " << closed.ctmc.num_states() << " states\n";
 
@@ -275,6 +302,9 @@ int cmd_solve(const std::string& path) {
     std::cout << "expected time to absorption: "
               << markov::expected_absorption_time_from_initial(closed.ctmc)
               << "\n";
+    if (stats) {
+      core::solve_table().print(std::cout);
+    }
     return 0;
   }
   const auto pi = markov::steady_state(closed.ctmc);
@@ -293,6 +323,9 @@ int cmd_solve(const std::string& path) {
     std::cout << "throughput(" << label
               << ") = " << markov::throughput(closed.ctmc, pi, label)
               << "\n";
+  }
+  if (stats) {
+    core::solve_table().print(std::cout);
   }
   return 0;
 }
@@ -326,7 +359,7 @@ int usage() {
          "  multival_cli gen   <model.proc> <Entry> [args...] [-o out.aut]\n"
          "  multival_cli explore <model.proc> <Entry> [args...] [-j N] "
          "[--dfs] [--fp [bits]] [-o out.aut|out.mvl]\n"
-         "  multival_cli solve <file.imc>\n"
+         "  multival_cli solve <file.imc> [--stats]\n"
          "  multival_cli check-file <file.aut> <props.mcl>\n"
          "  multival_cli dot   <file.aut> [out.dot]\n";
   return 2;
@@ -361,8 +394,12 @@ int main(int argc, char** argv) {
     if (cmd == "explore" && argc >= 4) {
       return cmd_explore(argc, argv);
     }
-    if (cmd == "solve" && argc == 3) {
-      return cmd_solve(argv[2]);
+    if (cmd == "solve" && (argc == 3 || argc == 4)) {
+      const bool stats = argc == 4 && std::string(argv[3]) == "--stats";
+      if (argc == 4 && !stats) {
+        return usage();
+      }
+      return cmd_solve(argv[2], stats);
     }
     if (cmd == "check-file" && argc == 4) {
       return cmd_check_file(argv[2], argv[3]);

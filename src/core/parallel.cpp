@@ -1,0 +1,33 @@
+#include "core/parallel.hpp"
+
+#include <atomic>
+
+namespace multival::core {
+
+namespace {
+
+std::atomic<unsigned>& thread_budget() {
+  static std::atomic<unsigned> budget{0};  // 0 = hardware default
+  return budget;
+}
+
+}  // namespace
+
+unsigned parallel_threads() {
+  const unsigned n = thread_budget().load(std::memory_order_relaxed);
+  if (n != 0) {
+    return n;
+  }
+  // hardware_concurrency() is a sysconf call each time; resolve it once.
+  static const unsigned hw = [] {
+    const unsigned h = std::thread::hardware_concurrency();
+    return h == 0 ? 1u : h;
+  }();
+  return hw;
+}
+
+unsigned set_parallel_threads(unsigned n) {
+  return thread_budget().exchange(n, std::memory_order_relaxed);
+}
+
+}  // namespace multival::core

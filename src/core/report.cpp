@@ -21,7 +21,83 @@ std::vector<GenerationStat>& generation_entries() {
   return entries;
 }
 
+std::mutex& solve_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct SolveLog {
+  std::vector<SolveStat> entries;
+  std::size_t dropped = 0;
+};
+
+SolveLog& solve_entries() {
+  static SolveLog log;
+  return log;
+}
+
+/// Bounded so that long property-test sweeps cannot grow without limit.
+constexpr std::size_t kSolveLogCap = 4096;
+
+std::string& solve_context_name() {
+  thread_local std::string name;
+  return name;
+}
+
 }  // namespace
+
+void record_solve(SolveStat stat) {
+  if (stat.context.empty()) {
+    stat.context = SolveContext::current();
+  }
+  const std::lock_guard<std::mutex> lock(solve_mutex());
+  SolveLog& log = solve_entries();
+  if (log.entries.size() >= kSolveLogCap) {
+    ++log.dropped;
+    return;
+  }
+  log.entries.push_back(std::move(stat));
+}
+
+std::vector<SolveStat> solve_log() {
+  const std::lock_guard<std::mutex> lock(solve_mutex());
+  return solve_entries().entries;
+}
+
+std::size_t solve_log_dropped() {
+  const std::lock_guard<std::mutex> lock(solve_mutex());
+  return solve_entries().dropped;
+}
+
+void clear_solve_log() {
+  const std::lock_guard<std::mutex> lock(solve_mutex());
+  solve_entries().entries.clear();
+  solve_entries().dropped = 0;
+}
+
+Table solve_table() {
+  Table t("numerical solves",
+          {"solver", "model", "states", "iters", "residual", "time (ms)"});
+  for (const SolveStat& s : solve_log()) {
+    t.add_row({s.solver, s.context.empty() ? "-" : s.context,
+               std::to_string(s.states), std::to_string(s.iterations),
+               fmt_sci(s.residual), fmt(s.seconds * 1e3, 3)});
+  }
+  return t;
+}
+
+SolveContext::SolveContext(std::string name)
+    : previous_(std::move(solve_context_name())) {
+  solve_context_name() = std::move(name);
+}
+
+SolveContext::~SolveContext() {
+  solve_context_name() = std::move(previous_);
+}
+
+const std::string& SolveContext::current() {
+  return solve_context_name();
+}
 
 void record_generation(GenerationStat stat) {
   const std::lock_guard<std::mutex> lock(generation_mutex());

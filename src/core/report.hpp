@@ -67,6 +67,59 @@ auto timed_generation(const std::string& model, Build&& build) {
   return result;
 }
 
+// ---- solver log -------------------------------------------------------------
+//
+// Every numerical solve (steady state, transient, absorption, interval
+// iteration over schedulers) reports its iteration count, certified
+// residual / interval width and wall time here, so solver behaviour is
+// observable from every experiment binary and from the CLI.
+
+/// One numerical-solve measurement.
+struct SolveStat {
+  std::string solver;    ///< e.g. "interval_reach[max]"
+  std::string context;   ///< model label from the enclosing SolveContext
+  std::size_t states = 0;
+  std::size_t iterations = 0;
+  /// Final certified interval width (interval iteration) or last sweep
+  /// delta (classical iterations).
+  double residual = 0.0;
+  double seconds = 0.0;
+};
+
+/// Appends @p stat to the process-wide solve log (tagging it with the
+/// current SolveContext).  Thread-safe; the log is capped, see
+/// solve_log_dropped().
+void record_solve(SolveStat stat);
+
+/// Snapshot of the log, in recording order.  Thread-safe.
+[[nodiscard]] std::vector<SolveStat> solve_log();
+
+/// Number of records dropped because the log cap was reached.
+[[nodiscard]] std::size_t solve_log_dropped();
+
+/// Clears the log and the dropped counter.
+void clear_solve_log();
+
+/// Renders the log: solver | model | states | iters | residual | time (ms).
+[[nodiscard]] Table solve_table();
+
+/// RAII label for solve records: solves performed while a SolveContext is
+/// alive on this thread carry its name in their `context` column.  Nests
+/// (innermost wins).
+class SolveContext {
+ public:
+  explicit SolveContext(std::string name);
+  ~SolveContext();
+  SolveContext(const SolveContext&) = delete;
+  SolveContext& operator=(const SolveContext&) = delete;
+
+  /// The innermost active context name on this thread ("" if none).
+  [[nodiscard]] static const std::string& current();
+
+ private:
+  std::string previous_;
+};
+
 /// Fixed-precision formatting of a double ("3.1416"); "inf" for infinities.
 [[nodiscard]] std::string fmt(double v, int precision = 4);
 

@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
-#include <exception>
-#include <thread>
 #include <unordered_map>
 #include <utility>
+
+#include "core/parallel.hpp"
 
 namespace multival::explore {
 
@@ -68,41 +68,16 @@ using Frontier = std::vector<std::pair<lts::StateId, std::string>>;
 
 void expand_level(std::vector<WorkerCtx>& ctxs, const Frontier& frontier,
                   StateStore& store, std::size_t max_states) {
-  const std::size_t n = frontier.size();
-  // Small frontiers are not worth the thread fan-out.
-  const std::size_t workers =
-      std::min<std::size_t>(ctxs.size(), n / 4 == 0 ? 1 : n / 4);
-  if (workers <= 1) {
-    for (const auto& [id, bytes] : frontier) {
-      ctxs[0].expand(id, bytes, store, max_states);
-    }
-    return;
-  }
-  std::vector<std::exception_ptr> errors(workers);
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (std::size_t w = 0; w < workers; ++w) {
-    const std::size_t lo = n * w / workers;
-    const std::size_t hi = n * (w + 1) / workers;
-    threads.emplace_back([&, w, lo, hi] {
-      try {
-        for (std::size_t i = lo; i < hi; ++i) {
-          ctxs[w].expand(frontier[i].first, frontier[i].second, store,
-                         max_states);
-        }
-      } catch (...) {
-        errors[w] = std::current_exception();
-      }
-    });
-  }
-  for (std::thread& t : threads) {
-    t.join();
-  }
-  for (const std::exception_ptr& e : errors) {
-    if (e) {
-      std::rethrow_exception(e);
-    }
-  }
+  // Contiguous chunks per worker (small frontiers collapse to one worker);
+  // worker w owns ctxs[w], so label interning stays lock-free.
+  core::parallel_chunks(frontier.size(), ctxs.size(), /*min_grain=*/4,
+                        [&](unsigned w, std::size_t lo, std::size_t hi) {
+                          for (std::size_t i = lo; i < hi; ++i) {
+                            ctxs[w].expand(frontier[i].first,
+                                           frontier[i].second, store,
+                                           max_states);
+                          }
+                        });
 }
 
 /// Deterministic BFS renumbering from the initial state (id 0: the very
@@ -148,9 +123,8 @@ lts::Lts renumber_and_emit(const std::vector<WorkerCtx>& ctxs,
 
 ExploreResult explore(const SuccessorOracle& oracle,
                       const ExploreOptions& options) {
-  unsigned workers = options.workers != 0
-                         ? options.workers
-                         : std::max(1u, std::thread::hardware_concurrency());
+  unsigned workers =
+      options.workers != 0 ? options.workers : core::parallel_threads();
   if (options.order == Order::kDfs) {
     workers = 1;  // DFS is inherently sequential (one stack)
   }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/flow.hpp"
+#include "core/report.hpp"
 #include "lts/analysis.hpp"
 #include "markov/absorption.hpp"
 #include "proc/generator.hpp"
@@ -184,6 +185,7 @@ lts::Lts barrier_lts(const BarrierConfig& config) {
 }
 
 BarrierResult barrier_latency(const BarrierConfig& config) {
+  const core::SolveContext solve_ctx("fame/barrier");
   const lts::Lts l = barrier_lts(config);
   const auto rates =
       topology_rates(config.topology, {"F0", "F1"}, config.base_rate);
@@ -197,6 +199,7 @@ BarrierResult barrier_latency(const BarrierConfig& config) {
 }
 
 PingPongResult pingpong_latency(const PingPongConfig& config) {
+  const core::SolveContext solve_ctx("fame/pingpong");
   const lts::Lts l = pingpong_lts(config);
   const auto rates =
       topology_rates(config.topology, {"M", "S0", "S1"}, config.base_rate);

@@ -8,8 +8,15 @@
 // all memoryless schedulers,
 //   - min / max probability of eventually reaching a target set, and
 //   - min / max expected time to absorption,
-// by value iteration.  A uniformly-randomising scheduler (the kUniform
-// policy of to_ctmc) always lies between the two bounds.
+// by interval (two-sided) value iteration: qualitative states are fixed by
+// exact graph precomputations (Prob0/Prob1 in both senses), a lower bound
+// rises from 0 while an upper bound falls towards the fixpoint (deflated
+// over maximal end components for max-reachability; obtained by verified
+// optimistic inflation for expected time), and iteration stops only when
+// the two are within the tolerance.  The returned values are midpoints of
+// certified intervals of width < tolerance.  A uniformly-randomising
+// scheduler (the kUniform policy of to_ctmc) always lies between the two
+// bounds.
 #pragma once
 
 #include <vector>
@@ -19,6 +26,9 @@
 namespace multival::imc {
 
 struct SchedulerBoundsOptions {
+  /// Certified interval width at which iteration stops: absolute for
+  /// reachability probabilities, relative to max(1, largest value) for
+  /// expected times.
   double tolerance = 1e-10;
   std::size_t max_iterations = 200000;
 };
@@ -35,8 +45,9 @@ struct Bounds {
     const SchedulerBoundsOptions& opts = {});
 
 /// Min/max expected time to reach a state with no outgoing transition at
-/// all (absorbing).  Requires the target to be reached with probability 1
-/// under every scheduler; returns +infinity bounds otherwise.
+/// all (absorbing).  Divergence is decided exactly on the graph: the min
+/// bound is finite iff some scheduler absorbs almost surely, the max bound
+/// iff every scheduler does; infinite cases return +infinity.
 [[nodiscard]] Bounds absorption_time_bounds(
     const Imc& m, const SchedulerBoundsOptions& opts = {});
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/parallel.hpp"
+
 namespace multival::markov {
 
 SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
@@ -33,6 +35,25 @@ SparseMatrix SparseMatrix::from_triplets(std::size_t rows, std::size_t cols,
   for (std::size_t r = 0; r < rows; ++r) {
     m.row_ptr_[r + 1] += m.row_ptr_[r];
   }
+  // CSC side by counting sort of the deduplicated CSR entries; within each
+  // column the entries stay in increasing row order, which fixes the
+  // accumulation order of multiply_left.
+  m.col_ptr_.assign(cols + 1, 0);
+  for (const Entry& e : m.entries_) {
+    ++m.col_ptr_[e.col + 1];
+  }
+  for (std::size_t c = 0; c < cols; ++c) {
+    m.col_ptr_[c + 1] += m.col_ptr_[c];
+  }
+  m.centries_.resize(m.entries_.size());
+  std::vector<std::size_t> next(m.col_ptr_.begin(), m.col_ptr_.end() - 1);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t k = m.row_ptr_[r]; k < m.row_ptr_[r + 1]; ++k) {
+      const Entry& e = m.entries_[k];
+      m.centries_[next[e.col]++] =
+          Entry{static_cast<std::uint32_t>(r), e.value};
+    }
+  }
   return m;
 }
 
@@ -43,21 +64,30 @@ std::span<const Entry> SparseMatrix::row(std::size_t i) const {
   return {entries_.data() + row_ptr_[i], row_ptr_[i + 1] - row_ptr_[i]};
 }
 
+std::span<const Entry> SparseMatrix::column(std::size_t j) const {
+  if (j + 1 >= col_ptr_.size()) {
+    throw std::out_of_range("SparseMatrix::column");
+  }
+  return {centries_.data() + col_ptr_[j], col_ptr_[j + 1] - col_ptr_[j]};
+}
+
 std::vector<double> SparseMatrix::multiply_left(
     std::span<const double> x) const {
   if (x.size() != num_rows()) {
     throw std::invalid_argument("multiply_left: size mismatch");
   }
   std::vector<double> y(cols_, 0.0);
-  for (std::size_t r = 0; r < num_rows(); ++r) {
-    const double xr = x[r];
-    if (xr == 0.0) {
-      continue;
+  const std::size_t grain =
+      num_nonzeros() < kParallelNonzeros ? cols_ + 1 : 512;
+  core::parallel_for(cols_, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t c = lo; c < hi; ++c) {
+      double acc = 0.0;
+      for (std::size_t k = col_ptr_[c]; k < col_ptr_[c + 1]; ++k) {
+        acc += x[centries_[k].col] * centries_[k].value;
+      }
+      y[c] = acc;
     }
-    for (const Entry& e : row(r)) {
-      y[e.col] += xr * e.value;
-    }
-  }
+  });
   return y;
 }
 
@@ -66,26 +96,37 @@ std::vector<double> SparseMatrix::multiply_right(
   if (x.size() != cols_) {
     throw std::invalid_argument("multiply_right: size mismatch");
   }
-  std::vector<double> y(num_rows(), 0.0);
-  for (std::size_t r = 0; r < num_rows(); ++r) {
-    double acc = 0.0;
-    for (const Entry& e : row(r)) {
-      acc += e.value * x[e.col];
+  const std::size_t rows = num_rows();
+  std::vector<double> y(rows, 0.0);
+  const std::size_t grain =
+      num_nonzeros() < kParallelNonzeros ? rows + 1 : 512;
+  core::parallel_for(rows, grain, [&](std::size_t lo, std::size_t hi) {
+    for (std::size_t r = lo; r < hi; ++r) {
+      double acc = 0.0;
+      for (std::size_t k = row_ptr_[r]; k < row_ptr_[r + 1]; ++k) {
+        acc += entries_[k].value * x[entries_[k].col];
+      }
+      y[r] = acc;
     }
-    y[r] = acc;
-  }
+  });
   return y;
 }
 
 SparseMatrix SparseMatrix::transpose() const {
-  std::vector<Triplet> ts;
-  ts.reserve(entries_.size());
-  for (std::size_t r = 0; r < num_rows(); ++r) {
-    for (const Entry& e : row(r)) {
-      ts.push_back(Triplet{e.col, static_cast<std::uint32_t>(r), e.value});
-    }
+  // The CSC layout *is* the transposed CSR layout: swap the two sides.
+  SparseMatrix t;
+  t.cols_ = num_rows();
+  t.row_ptr_ = col_ptr_;
+  t.entries_ = centries_;
+  t.col_ptr_ = row_ptr_;
+  t.centries_ = entries_;
+  if (t.row_ptr_.empty()) {
+    t.row_ptr_.assign(1, 0);
   }
-  return from_triplets(cols_, num_rows(), std::move(ts));
+  if (t.col_ptr_.empty()) {
+    t.col_ptr_.assign(1, 0);
+  }
+  return t;
 }
 
 }  // namespace multival::markov

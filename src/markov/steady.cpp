@@ -1,8 +1,11 @@
 #include "markov/steady.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "core/report.hpp"
 
 namespace multival::markov {
 
@@ -95,10 +98,12 @@ BsccDecomposition bscc_decomposition(const Ctmc& c) {
 namespace {
 
 /// Gauss–Seidel solve of the local steady state of an irreducible sub-chain
-/// given by @p members (global state ids).
+/// given by @p members (global state ids).  Accumulates sweeps into
+/// @p iterations for solve telemetry.
 std::vector<double> solve_bscc(const Ctmc& c,
                                const std::vector<std::uint32_t>& members,
-                               const SolverOptions& opts) {
+                               const SolverOptions& opts,
+                               std::size_t& iterations) {
   const std::size_t m = members.size();
   if (m == 1) {
     return {1.0};
@@ -123,6 +128,7 @@ std::vector<double> solve_bscc(const Ctmc& c,
   }
   std::vector<double> pi(m, 1.0 / static_cast<double>(m));
   for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
+    ++iterations;
     double delta = 0.0;
     for (std::size_t i = 0; i < m; ++i) {
       double inflow = 0.0;
@@ -164,6 +170,28 @@ std::vector<double> solve_bscc(const Ctmc& c,
   throw SolverFailure("steady_state: Gauss-Seidel did not converge");
 }
 
+/// Backward closure of @p seed over @p pred (which states reach the seed).
+std::vector<bool> closure(const std::vector<std::vector<std::uint32_t>>& pred,
+                          std::vector<bool> seed) {
+  std::vector<std::uint32_t> stack;
+  for (std::uint32_t s = 0; s < seed.size(); ++s) {
+    if (seed[s]) {
+      stack.push_back(s);
+    }
+  }
+  while (!stack.empty()) {
+    const std::uint32_t s = stack.back();
+    stack.pop_back();
+    for (const std::uint32_t p : pred[s]) {
+      if (!seed[p]) {
+        seed[p] = true;
+        stack.push_back(p);
+      }
+    }
+  }
+  return seed;
+}
+
 }  // namespace
 
 std::vector<double> reachability_probability(const Ctmc& c,
@@ -173,49 +201,58 @@ std::vector<double> reachability_probability(const Ctmc& c,
   if (target.size() != n) {
     throw std::invalid_argument("reachability_probability: size mismatch");
   }
-  // Backward reachability: which states can reach the target at all.
+  const auto t0 = std::chrono::steady_clock::now();
+
+  // Exact qualitative precomputation on the graph:
+  //  prob0 = states that cannot reach the target at all;
+  //  prob1 = states that cannot reach prob0 without first passing through
+  //          the target (closure computed with target states made
+  //          absorbing), i.e. states that reach the target almost surely.
   std::vector<std::vector<std::uint32_t>> pred(n);
+  std::vector<std::vector<std::uint32_t>> pred_cut(n);  // target absorbing
   for (const RateTransition& t : c.transitions()) {
     pred[t.dst].push_back(t.src);
+    if (!target[t.src]) {
+      pred_cut[t.dst].push_back(t.src);
+    }
   }
-  std::vector<bool> can(n, false);
-  std::vector<std::uint32_t> stack;
+  std::vector<bool> can = closure(pred, target);
+  std::vector<bool> prob0(n, false);
   for (std::uint32_t s = 0; s < n; ++s) {
-    if (target[s]) {
-      can[s] = true;
-      stack.push_back(s);
-    }
+    prob0[s] = !can[s];
   }
-  while (!stack.empty()) {
-    const std::uint32_t s = stack.back();
-    stack.pop_back();
-    for (const std::uint32_t p : pred[s]) {
-      if (!can[p]) {
-        can[p] = true;
-        stack.push_back(p);
-      }
-    }
-  }
+  std::vector<bool> not_prob1 = closure(pred_cut, prob0);
 
   const std::vector<double> exits = c.exit_rates();
-  // Outgoing adjacency for the Gauss–Seidel sweeps.
   std::vector<std::vector<Entry>> out(n);
   for (const RateTransition& t : c.transitions()) {
     out[t.src].push_back(Entry{t.dst, t.rate});
   }
 
-  std::vector<double> x(n, 0.0);
+  std::vector<std::uint32_t> active;  // the quantitative "?" states
   for (std::uint32_t s = 0; s < n; ++s) {
-    if (target[s]) {
-      x[s] = 1.0;
+    if (!target[s] && !prob0[s] && not_prob1[s]) {
+      active.push_back(s);
     }
   }
-  for (std::size_t iter = 0; iter < opts.max_iterations; ++iter) {
-    double delta = 0.0;
-    for (std::uint32_t s = 0; s < n; ++s) {
-      if (target[s] || !can[s] || exits[s] <= 0.0) {
-        continue;
-      }
+
+  // Interval (two-sided) value iteration: the lower vector starts at the
+  // qualitative 0/1 assignment, the upper vector at 1 on every "?" state.
+  // Both converge monotonically to the unique fixpoint, so stopping when
+  // sup |upper - lower| < tolerance certifies the result -- unlike the
+  // previous delta-based stop, which could declare convergence while still
+  // far from the fixpoint on slowly-mixing chains.
+  std::vector<double> lower(n, 0.0);
+  std::vector<double> upper(n, 0.0);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    if (target[s] || !not_prob1[s]) {
+      lower[s] = upper[s] = 1.0;
+    } else if (!prob0[s]) {
+      upper[s] = 1.0;
+    }
+  }
+  const auto sweep = [&](std::vector<double>& x) {
+    for (const std::uint32_t s : active) {
       double acc = 0.0;
       double self = 0.0;
       for (const Entry& e : out[s]) {
@@ -226,15 +263,43 @@ std::vector<double> reachability_probability(const Ctmc& c,
         }
       }
       const double denom = exits[s] - self;
-      const double next = denom > 0.0 ? acc / denom : 0.0;
-      delta = std::max(delta, std::abs(next - x[s]));
-      x[s] = next;
+      if (denom <= 0.0) {
+        throw SolverFailure(
+            "reachability_probability: self-loop-only state escaped "
+            "prob0 precomputation");
+      }
+      x[s] = acc / denom;
     }
-    if (delta < opts.tolerance) {
-      return x;
+  };
+
+  std::size_t iterations = 0;
+  double width = 0.0;
+  if (!active.empty()) {
+    for (;; ++iterations) {
+      width = 0.0;
+      for (const std::uint32_t s : active) {
+        width = std::max(width, upper[s] - lower[s]);
+      }
+      if (width < opts.tolerance) {
+        break;
+      }
+      if (iterations >= opts.max_iterations) {
+        throw SolverFailure("reachability_probability: did not converge");
+      }
+      sweep(lower);
+      sweep(upper);
     }
   }
-  throw SolverFailure("reachability_probability: did not converge");
+
+  std::vector<double> x(n, 0.0);
+  for (std::uint32_t s = 0; s < n; ++s) {
+    x[s] = 0.5 * (lower[s] + upper[s]);
+  }
+  core::record_solve(core::SolveStat{
+      "reachability[interval]", {}, n, iterations, width,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count()});
+  return x;
 }
 
 std::vector<double> steady_state(const Ctmc& c, const SolverOptions& opts) {
@@ -242,6 +307,7 @@ std::vector<double> steady_state(const Ctmc& c, const SolverOptions& opts) {
   if (n == 0) {
     return {};
   }
+  const auto t0 = std::chrono::steady_clock::now();
   const BsccDecomposition d = bscc_decomposition(c);
   const std::vector<double> pi0 = c.initial_distribution();
 
@@ -251,6 +317,7 @@ std::vector<double> steady_state(const Ctmc& c, const SolverOptions& opts) {
     members[d.component_of[s]].push_back(s);
   }
 
+  std::size_t iterations = 0;
   std::vector<double> pi(n, 0.0);
   for (std::uint32_t comp = 0; comp < d.num_components; ++comp) {
     if (!d.is_bottom[comp]) {
@@ -281,11 +348,16 @@ std::vector<double> steady_state(const Ctmc& c, const SolverOptions& opts) {
     if (weight <= 0.0) {
       continue;
     }
-    const std::vector<double> local = solve_bscc(c, members[comp], opts);
+    const std::vector<double> local =
+        solve_bscc(c, members[comp], opts, iterations);
     for (std::size_t i = 0; i < members[comp].size(); ++i) {
       pi[members[comp][i]] += weight * local[i];
     }
   }
+  core::record_solve(core::SolveStat{
+      "steady_state[bscc]", {}, n, iterations, opts.tolerance,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count()});
   return pi;
 }
 

@@ -15,6 +15,9 @@
 namespace multival::markov {
 
 struct SolverOptions {
+  /// Certified interval width at which iteration stops: absolute for
+  /// probabilities (values in [0,1]), relative to max(1, largest value)
+  /// for expected times (values unbounded).
   double tolerance = 1e-12;
   std::size_t max_iterations = 200000;
 };

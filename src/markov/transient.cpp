@@ -1,13 +1,20 @@
 #include "markov/transient.hpp"
 
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "core/parallel.hpp"
+#include "core/report.hpp"
 
 namespace multival::markov {
 
 PoissonWeights poisson_weights(double lambda_t, double epsilon) {
   if (lambda_t < 0.0 || !std::isfinite(lambda_t)) {
     throw std::invalid_argument("poisson_weights: bad lambda*t");
+  }
+  if (!(epsilon > 0.0) || epsilon >= 1.0) {
+    throw std::invalid_argument("poisson_weights: epsilon must be in (0,1)");
   }
   PoissonWeights out;
   if (lambda_t == 0.0) {
@@ -16,29 +23,48 @@ PoissonWeights poisson_weights(double lambda_t, double epsilon) {
   }
   // Work outwards from the mode with the ratio recurrence
   // p(k+1)/p(k) = lambda_t/(k+1), in scaled arithmetic (mode weight = 1),
-  // then normalise.  This is the simplified Fox–Glynn scheme: the scaled
-  // tail weights fall below any epsilon quickly, and the final division by
-  // the scaled total compensates the truncation.
+  // then normalise.  Truncation is controlled by the *total dropped mass*:
+  // the weight ratios shrink monotonically away from the mode, so once the
+  // next ratio r is below 1 the untruncated remainder of that side is
+  // bounded by the geometric tail w * r / (1 - r).  Each side cuts when
+  // that bound drops below (epsilon/2) of the scaled mass accumulated so
+  // far (a lower bound on the final normaliser), which keeps the two-sided
+  // relative truncation error below epsilon.  The previous per-weight
+  // cutoff (epsilon * 1e-4 relative to the mode weight) bounded no such
+  // total.
   const auto mode = static_cast<long long>(std::floor(lambda_t));
-  const double cutoff = epsilon * 1e-4;  // relative to the mode weight
+  constexpr double kUnderflow = 1e-300;  // stop once scaled weights vanish
+
+  double total = 1.0;  // scaled mass kept so far (mode weight included)
 
   std::vector<double> down;  // weights for k = mode-1, mode-2, ...
   double w = 1.0;
   for (long long k = mode; k > 0; --k) {
-    w *= static_cast<double>(k) / lambda_t;
-    if (w < cutoff) {
+    const double r = static_cast<double>(k) / lambda_t;  // w(k-1) / w(k)
+    if (r < 1.0 && w * r / (1.0 - r) <= 0.5 * epsilon * total) {
+      break;  // the whole remaining lower tail is negligible
+    }
+    w *= r;
+    if (w < kUnderflow) {
       break;
     }
     down.push_back(w);
+    total += w;
   }
   std::vector<double> up;  // weights for k = mode+1, ...
   w = 1.0;
-  for (long long k = mode + 1;; ++k) {
-    w *= lambda_t / static_cast<double>(k);
-    if (w < cutoff) {
+  for (long long k = mode;; ++k) {
+    const double r = lambda_t / static_cast<double>(k + 1);  // w(k+1) / w(k)
+    // r < 1 always holds here: k >= mode = floor(lambda_t).
+    if (w * r / (1.0 - r) <= 0.5 * epsilon * total) {
+      break;
+    }
+    w *= r;
+    if (w < kUnderflow) {
       break;
     }
     up.push_back(w);
+    total += w;
   }
 
   out.left = static_cast<std::size_t>(mode - static_cast<long long>(down.size()));
@@ -49,10 +75,6 @@ PoissonWeights poisson_weights(double lambda_t, double epsilon) {
   out.weights.push_back(1.0);
   for (const double u : up) {
     out.weights.push_back(u);
-  }
-  double total = 0.0;
-  for (const double x : out.weights) {
-    total += x;
   }
   for (double& x : out.weights) {
     x /= total;
@@ -69,23 +91,32 @@ std::vector<double> transient_distribution(const Ctmc& c, double t,
   if (t == 0.0 || c.num_states() == 0) {
     return v;
   }
+  const auto t0 = std::chrono::steady_clock::now();
   double lambda = 0.0;
-  const SparseMatrix p = c.uniformized_dtmc(lambda);
+  const SparseMatrix& p = c.uniformized_dtmc(lambda);
   const PoissonWeights pw = poisson_weights(lambda * t, epsilon);
 
-  std::vector<double> acc(c.num_states(), 0.0);
+  const std::size_t n = c.num_states();
+  std::vector<double> acc(n, 0.0);
+  const std::size_t grain = n < (1u << 14) ? n + 1 : 4096;
   const std::size_t last = pw.left + pw.weights.size() - 1;
   for (std::size_t k = 0; k <= last; ++k) {
     if (k >= pw.left) {
       const double w = pw.weights[k - pw.left];
-      for (std::size_t s = 0; s < acc.size(); ++s) {
-        acc[s] += w * v[s];
-      }
+      core::parallel_for(n, grain, [&](std::size_t lo, std::size_t hi) {
+        for (std::size_t s = lo; s < hi; ++s) {
+          acc[s] += w * v[s];
+        }
+      });
     }
     if (k < last) {
       v = p.multiply_left(v);
     }
   }
+  core::record_solve(core::SolveStat{
+      "transient[uniformization]", {}, n, last, epsilon,
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count()});
   return acc;
 }
 

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "core/flow.hpp"
+#include "core/report.hpp"
 #include "markov/absorption.hpp"
 #include "markov/steady.hpp"
 
@@ -27,6 +28,7 @@ std::map<std::string, double> rate_table(const NocRates& rates,
 
 double packet_latency(int src, int dst, const NocRates& rates,
                       const MeshDims& dims) {
+  const core::SolveContext solve_ctx("noc/packet-latency");
   const lts::Lts l = single_packet_lts(src, dst, /*hide_links=*/false, dims);
   const imc::Imc m = core::decorate_with_rates(l, rate_table(rates, dims));
   const core::ClosedModel closed =
@@ -36,6 +38,7 @@ double packet_latency(int src, int dst, const NocRates& rates,
 
 double delivery_throughput(const std::vector<Flow>& flows,
                            const NocRates& rates, const MeshDims& dims) {
+  const core::SolveContext solve_ctx("noc/throughput");
   const lts::Lts l = stream_lts(flows, /*hide_links=*/false, dims);
   const imc::Imc m = core::decorate_with_rates(l, rate_table(rates, dims));
   const core::ClosedModel closed =

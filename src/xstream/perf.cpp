@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/flow.hpp"
+#include "core/report.hpp"
 #include "lts/product.hpp"
 #include "markov/steady.hpp"
 
@@ -52,6 +53,7 @@ std::vector<int> occupancy_of_states(const lts::Lts& l,
 }
 
 QueuePerfResult analyze_virtual_queue(const QueuePerfParams& params) {
+  const core::SolveContext solve_ctx("xstream/virtual-queue");
   QueueConfig cfg = params.queue;
   cfg.max_value = 0;  // payload values do not influence timing
   const lts::Lts open = virtual_queue_lts_open(cfg);
@@ -91,6 +93,7 @@ QueuePerfResult analyze_virtual_queue(const QueuePerfParams& params) {
 }
 
 PipelinePerfResult analyze_pipeline(const PipelinePerfParams& params) {
+  const core::SolveContext solve_ctx("xstream/pipeline");
   QueueConfig cfg = params.queue;
   cfg.max_value = 0;
   const lts::Lts stage = virtual_queue_lts_open(cfg);
@@ -133,6 +136,7 @@ PipelinePerfResult analyze_pipeline(const PipelinePerfParams& params) {
 
 PipelineNPerfResult analyze_pipeline_n(const PipelinePerfParams& params,
                                        int stages) {
+  const core::SolveContext solve_ctx("xstream/pipeline-n");
   if (stages < 2 || stages > 4) {
     throw std::invalid_argument("analyze_pipeline_n: stages must be in 2..4");
   }

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
+#include "core/parallel.hpp"
 #include "markov/absorption.hpp"
 #include "markov/ctmc.hpp"
 #include "markov/sparse.hpp"
@@ -437,5 +439,129 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(BdParam{0.5, 1.0, 3}, BdParam{1.0, 1.0, 5},
                       BdParam{2.0, 1.0, 4}, BdParam{0.9, 1.1, 8},
                       BdParam{5.0, 1.0, 2}, BdParam{0.1, 2.0, 6}));
+
+// --- Fox-Glynn truncation and parallel determinism --------------------------
+
+// Erlang-k completion probability by time t computed through uniformisation
+// must match the analytic Poisson tail P[Poisson(r*t) >= k] to the requested
+// epsilon, including for large lambda*t where the old per-weight cutoff of
+// poisson_weights lost unbounded total mass.
+double erlang_cdf(std::size_t k, double rt) {
+  double cdf = 0.0;  // P[Poisson(rt) < k]
+  for (std::size_t i = 0; i < k; ++i) {
+    cdf += std::exp(static_cast<double>(i) * std::log(rt) - rt -
+                    std::lgamma(static_cast<double>(i) + 1.0));
+  }
+  return 1.0 - cdf;
+}
+
+TEST(Transient, ErlangCdfLargeLambdaT) {
+  for (const double rt : {1e2, 1e4}) {
+    // k ~ rt so the CDF sits mid-range instead of saturating at 0 or 1.
+    const auto k = static_cast<std::size_t>(rt);
+    Ctmc c;
+    c.add_states(k + 1);
+    for (std::size_t i = 0; i < k; ++i) {
+      c.add_transition(static_cast<MState>(i), static_cast<MState>(i + 1),
+                       1.0);
+    }
+    std::vector<bool> target(k + 1, false);
+    target[k] = true;
+    const double got = bounded_reachability(c, target, rt, 1e-10);
+    const double want = erlang_cdf(k, rt);
+    EXPECT_GT(want, 0.3);
+    EXPECT_LT(want, 0.7);
+    EXPECT_NEAR(got, want, 1e-9) << "lambda*t = " << rt;
+  }
+}
+
+TEST(Transient, PoissonWeightsTotalMassBound) {
+  for (const double lt : {0.5, 3.0, 50.0, 1e4}) {
+    const double eps = 1e-12;
+    const PoissonWeights pw = poisson_weights(lt, eps);
+    // The kept (normalised) weights must cover the analytic mass of the
+    // kept index range up to eps: the dropped tails are bounded.
+    double analytic = 0.0;
+    for (std::size_t i = 0; i < pw.weights.size(); ++i) {
+      const double k = static_cast<double>(pw.left + i);
+      analytic += std::exp(k * std::log(lt) - lt - std::lgamma(k + 1.0));
+    }
+    EXPECT_GT(analytic, 1.0 - eps) << "lambda*t = " << lt;
+  }
+}
+
+TEST(Transient, PoissonWeightsRejectsBadEpsilon) {
+  EXPECT_THROW((void)poisson_weights(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)poisson_weights(1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)poisson_weights(1.0, -1e-3), std::invalid_argument);
+}
+
+TEST(Sparse, ParallelMultiplyIsBitwiseDeterministic) {
+  // Big enough to clear the serial threshold (kParallelNonzeros).
+  const std::size_t n = 20000;
+  std::vector<Triplet> ts;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    ts.push_back({static_cast<std::uint32_t>(i),
+                  static_cast<std::uint32_t>(i + 1), 0.25});
+    ts.push_back({static_cast<std::uint32_t>(i + 1),
+                  static_cast<std::uint32_t>(i), 1.0 / 3.0});
+    ts.push_back({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(i),
+                  1.0 / 7.0});
+  }
+  const SparseMatrix m = SparseMatrix::from_triplets(n, n, std::move(ts));
+  ASSERT_GE(m.num_nonzeros(), SparseMatrix::kParallelNonzeros);
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  const unsigned prev = multival::core::set_parallel_threads(1);
+  const std::vector<double> left1 = m.multiply_left(x);
+  const std::vector<double> right1 = m.multiply_right(x);
+  for (const unsigned threads : {2u, 3u, 8u}) {
+    multival::core::set_parallel_threads(threads);
+    const std::vector<double> left = m.multiply_left(x);
+    const std::vector<double> right = m.multiply_right(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(left[i], left1[i]) << "threads=" << threads << " col " << i;
+      ASSERT_EQ(right[i], right1[i]) << "threads=" << threads << " row " << i;
+    }
+  }
+  multival::core::set_parallel_threads(prev);
+}
+
+TEST(Sparse, TransposeRoundTripWithCscLayout) {
+  const SparseMatrix m = SparseMatrix::from_triplets(
+      3, 2, {{0, 1, 1.0}, {2, 0, 2.0}, {1, 1, 3.0}});
+  const SparseMatrix t = m.transpose();
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_EQ(t.num_cols(), 3u);
+  const SparseMatrix back = t.transpose();
+  for (std::size_t r = 0; r < 3; ++r) {
+    const auto a = m.row(r);
+    const auto b = back.row(r);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].col, b[i].col);
+      EXPECT_DOUBLE_EQ(a[i].value, b[i].value);
+    }
+  }
+}
+
+TEST(Ctmc, MatrixCacheInvalidatedOnMutation) {
+  Ctmc c;
+  c.add_states(2);
+  c.add_transition(0, 1, 1.0);
+  double lambda1 = 0.0;
+  (void)c.uniformized_dtmc(lambda1);
+  EXPECT_EQ(c.rate_matrix().num_nonzeros(), 1u);
+  c.add_transition(1, 0, 2.0);  // must invalidate both cached matrices
+  double lambda2 = 0.0;
+  (void)c.uniformized_dtmc(lambda2);
+  EXPECT_EQ(c.rate_matrix().num_nonzeros(), 2u);
+  EXPECT_GT(lambda2, lambda1);
+  // Copies drop the cache but solve identically.
+  const Ctmc d = c;
+  EXPECT_EQ(d.rate_matrix().num_nonzeros(), 2u);
+}
 
 }  // namespace

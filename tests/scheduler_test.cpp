@@ -2,6 +2,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
 
 #include "imc/compose.hpp"
 #include "imc/scheduler.hpp"
@@ -136,6 +139,122 @@ TEST(Scheduler, EmptyImc) {
   const Bounds b = absorption_time_bounds(m);
   EXPECT_DOUBLE_EQ(b.min, 0.0);
   EXPECT_DOUBLE_EQ(b.max, 0.0);
+}
+
+// --- exhaustive property test ----------------------------------------------
+//
+// On small random IMCs, every memoryless scheduler can be enumerated; the
+// interval bounds must bracket the exact value each one induces, for both
+// reachability probability and expected absorption time (infinite values
+// included).
+
+// Deterministic random IMC: state n-1 is absorbing, interactive edges go
+// strictly upward (so no scheduler can close a zero-delay cycle), Markovian
+// edges may go anywhere else, so some schedulers can diverge.
+Imc random_imc(std::mt19937& rng, std::size_t n) {
+  const auto pick = [&](std::uint32_t k) {
+    return static_cast<std::uint32_t>(rng() % k);
+  };
+  Imc m;
+  m.add_states(n);
+  for (StateId s = 0; s + 1 < n; ++s) {
+    const bool decision = s + 1 < n - 1 ? pick(2) == 0 : pick(3) == 0;
+    if (decision) {
+      const std::uint32_t span = static_cast<std::uint32_t>(n - 1 - s);
+      const std::size_t choices = 1 + pick(2);
+      for (std::size_t c = 0; c < choices; ++c) {
+        m.add_interactive(s, "a", s + 1 + pick(span));
+      }
+      if (pick(2) == 0) {
+        // A Markovian edge that maximal progress must ignore.
+        m.add_markovian(s, 1.0 + pick(3), pick(static_cast<std::uint32_t>(n)));
+      }
+    } else {
+      const std::size_t edges = 1 + pick(2);
+      for (std::size_t e = 0; e < edges; ++e) {
+        StateId dst = pick(static_cast<std::uint32_t>(n));
+        if (dst == s) {
+          dst = n - 1;
+        }
+        m.add_markovian(s, 0.5 + 0.5 * pick(5), dst);
+      }
+    }
+  }
+  return m;
+}
+
+// (reach probability of `target`, expected absorption time) induced by one
+// scheduler, both taken from the IMC's initial distribution.
+std::pair<double, double> scheduler_value(const Imc& m, const Scheduler& sc,
+                                          const std::vector<bool>& target) {
+  const CtmcExtraction e = to_ctmc(apply_scheduler(m, sc));
+  std::vector<bool> ctmc_target(e.ctmc.num_states(), false);
+  for (std::size_t cs = 0; cs < e.imc_state_of.size(); ++cs) {
+    ctmc_target[cs] = target[e.imc_state_of[cs]];
+  }
+  const std::vector<double> reach =
+      markov::reachability_probability(e.ctmc, ctmc_target);
+  const std::vector<double> pi0 = e.ctmc.initial_distribution();
+  double p = 0.0;
+  for (std::size_t cs = 0; cs < pi0.size(); ++cs) {
+    p += pi0[cs] * reach[cs];
+  }
+  const double t = markov::expected_absorption_time_from_initial(e.ctmc);
+  return {p, t};
+}
+
+TEST(Scheduler, BoundsBracketEveryMemorylessScheduler) {
+  constexpr double kSlack = 1e-7;
+  for (std::uint32_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937 rng(seed);
+    const std::size_t n = 3 + rng() % 4;  // 3..6 states
+    const Imc m = random_imc(rng, n);
+    std::vector<bool> target(n, false);
+    target[n - 1] = true;
+    const Bounds reach = reachability_bounds(m, target);
+    const Bounds time = absorption_time_bounds(m);
+
+    // Mixed-radix enumeration of every memoryless scheduler.
+    std::vector<std::size_t> radix(n, 1);
+    std::size_t total = 1;
+    for (StateId s = 0; s < n; ++s) {
+      radix[s] = std::max<std::size_t>(1, m.interactive(s).size());
+      total *= radix[s];
+    }
+    ASSERT_LE(total, 64u) << "seed " << seed;
+    double best_p = 1.0, worst_p = 0.0, best_t = 1e300, worst_t = 0.0;
+    for (std::size_t code = 0; code < total; ++code) {
+      Scheduler sc(n, 0);
+      std::size_t rest = code;
+      for (StateId s = 0; s < n; ++s) {
+        sc[s] = rest % radix[s];
+        rest /= radix[s];
+      }
+      const auto [p, t] = scheduler_value(m, sc, target);
+      EXPECT_GE(p, reach.min - kSlack) << "seed " << seed << " code " << code;
+      EXPECT_LE(p, reach.max + kSlack) << "seed " << seed << " code " << code;
+      EXPECT_GE(t, time.min - kSlack) << "seed " << seed << " code " << code;
+      if (std::isinf(t)) {
+        EXPECT_TRUE(std::isinf(time.max)) << "seed " << seed << " code "
+                                          << code;
+      } else {
+        EXPECT_LE(t, time.max + kSlack) << "seed " << seed << " code "
+                                        << code;
+      }
+      best_p = std::min(best_p, p);
+      worst_p = std::max(worst_p, p);
+      best_t = std::min(best_t, t);
+      worst_t = std::max(worst_t, std::isinf(t) ? 1e300 : t);
+    }
+    // The bounds are attained by memoryless schedulers, so the envelope of
+    // the enumeration must touch them (not merely sit inside).
+    EXPECT_NEAR(best_p, reach.min, kSlack) << "seed " << seed;
+    EXPECT_NEAR(worst_p, reach.max, kSlack) << "seed " << seed;
+    EXPECT_NEAR(best_t, time.min, kSlack) << "seed " << seed;
+    if (!std::isinf(time.max)) {
+      EXPECT_NEAR(worst_t, time.max, kSlack) << "seed " << seed;
+    }
+  }
 }
 
 }  // namespace
