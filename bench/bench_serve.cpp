@@ -1,0 +1,205 @@
+// bench_serve — load generator for the evaluation service (src/serve).
+//
+// Spawns N concurrent client connections against a freshly started
+// Unix-domain-socket server; each client issues a stream of CTMC
+// reachability solves with a configurable duplicate-request ratio, so the
+// run exercises the content-addressed cache and the request coalescer
+// under contention.  The run self-validates: every request must succeed,
+// and the service must solve each *distinct* model exactly once — all
+// duplicates are either coalesced into an in-flight solve or served from
+// the cache (asserted from the service counters; exit 1 on violation).
+//
+// Reported: throughput (requests/s), client-observed latency p50/p99, the
+// duplicate ratio actually generated, and the cache/coalescing counters.
+//
+// Note: on a single-core container the numbers measure the service's
+// coordination overhead, not parallel solve scaling.
+//
+// Flags: --clients N  --requests N (per client)  --dup R (0..1)
+//        --workers N  --smoke (tiny deterministic run for CI)
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+
+namespace {
+
+using namespace multival;
+
+std::string model_text(std::size_t id) {
+  // Distinct rate -> distinct content hash -> distinct cache key.
+  return "des (0, 3, 4)\n"
+         "(0, \"rate " + std::to_string(id + 1) + ".0\", 1)\n"
+         "(1, \"STEP; rate 2.0\", 2)\n"
+         "(2, \"rate 1.0\", 3)\n";
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size() - 1)));
+  return samples[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t clients = 32;
+  std::size_t requests = 8;
+  double dup_ratio = 0.5;
+  unsigned workers = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--clients" && i + 1 < argc) {
+      clients = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--requests" && i + 1 < argc) {
+      requests = std::strtoull(argv[++i], nullptr, 10);
+    } else if (a == "--dup" && i + 1 < argc) {
+      dup_ratio = std::strtod(argv[++i], nullptr);
+    } else if (a == "--workers" && i + 1 < argc) {
+      workers = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (a == "--smoke") {
+      clients = 4;
+      requests = 4;
+    } else {
+      std::cerr << "usage: bench_serve [--clients N] [--requests N] "
+                   "[--dup R] [--workers N] [--smoke]\n";
+      return 2;
+    }
+  }
+  if (clients == 0 || requests == 0 || dup_ratio < 0.0 || dup_ratio >= 1.0) {
+    std::cerr << "bench_serve: need clients>0, requests>0, 0<=dup<1\n";
+    return 2;
+  }
+
+  const std::size_t total = clients * requests;
+  const std::size_t distinct = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(static_cast<double>(total) * (1.0 - dup_ratio))));
+
+  serve::ServerOptions opts;
+  opts.socket_path =
+      "/tmp/mvserve_bench_" + std::to_string(::getpid()) + ".sock";
+  opts.service.workers = workers;
+  // This run measures caching/coalescing, not shedding: size the queue so
+  // nothing is rejected (bench of the overload path is in serve_test).
+  opts.service.queue_capacity = total + 16;
+  serve::Server server(opts);
+  std::thread server_thread([&server] { server.run(); });
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::atomic<std::uint64_t> failures{0};
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    pool.emplace_back([&, c] {
+      try {
+        serve::Client client(opts.socket_path);
+        latencies[c].reserve(requests);
+        for (std::size_t j = 0; j < requests; ++j) {
+          const std::size_t g = c * requests + j;
+          serve::Request r;
+          r.id = g + 1;
+          r.verb = serve::Verb::kReach;
+          r.payload = model_text(g % distinct);
+          const auto start = std::chrono::steady_clock::now();
+          const serve::Response resp = client.call(r);
+          const auto end = std::chrono::steady_clock::now();
+          latencies[c].push_back(
+              std::chrono::duration<double, std::milli>(end - start).count());
+          if (resp.status != serve::Status::kOk) {
+            ++failures;
+          }
+        }
+      } catch (const std::exception& e) {
+        std::cerr << "client " << c << ": " << e.what() << "\n";
+        failures += requests;
+      }
+    });
+  }
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  {
+    serve::Client stopper(opts.socket_path);
+    serve::Request bye;
+    bye.id = total + 1;
+    bye.verb = serve::Verb::kShutdown;
+    (void)stopper.call(bye);
+  }
+  server_thread.join();
+
+  const serve::ServiceMetrics m = server.service().metrics();
+  std::vector<double> all;
+  all.reserve(total);
+  for (const auto& v : latencies) {
+    all.insert(all.end(), v.begin(), v.end());
+  }
+
+  core::Table t("serve load benchmark", {"metric", "value"});
+  t.add_row({"clients", std::to_string(clients)});
+  t.add_row({"requests/client", std::to_string(requests)});
+  t.add_row({"total requests", std::to_string(total)});
+  t.add_row({"distinct models", std::to_string(distinct)});
+  t.add_row({"duplicate ratio",
+             core::fmt(1.0 - static_cast<double>(distinct) /
+                                 static_cast<double>(total), 3)});
+  t.add_row({"wall time (s)", core::fmt(wall, 3)});
+  t.add_row({"throughput (req/s)",
+             core::fmt(static_cast<double>(total) / wall, 1)});
+  t.add_row({"latency p50 (ms)", core::fmt(percentile(all, 0.50), 3)});
+  t.add_row({"latency p99 (ms)", core::fmt(percentile(all, 0.99), 3)});
+  t.add_row({"solves", std::to_string(m.solves)});
+  t.add_row({"coalesced", std::to_string(m.coalesced)});
+  t.add_row({"cache hits", std::to_string(m.cache_hits)});
+  t.add_row({"cache hit rate",
+             core::fmt(static_cast<double>(m.cache_hits + m.coalesced) /
+                           static_cast<double>(total), 3)});
+  t.print(std::cout);
+  std::cout << "\n";
+  m.to_table().print(std::cout);
+
+  // Self-validation: the acceptance property of the coalescing cache.
+  bool ok = true;
+  if (failures != 0) {
+    std::cerr << "ERROR: " << failures << " requests failed\n";
+    ok = false;
+  }
+  if (m.solves != distinct) {
+    std::cerr << "ERROR: expected exactly one solve per distinct model ("
+              << distinct << "), got " << m.solves << "\n";
+    ok = false;
+  }
+  if (m.cache_hits + m.coalesced != total - distinct) {
+    std::cerr << "ERROR: duplicates (" << (total - distinct)
+              << ") != cache hits (" << m.cache_hits << ") + coalesced ("
+              << m.coalesced << ")\n";
+    ok = false;
+  }
+  if (m.shed != 0) {
+    std::cerr << "ERROR: " << m.shed << " requests shed with an oversized "
+              << "queue\n";
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -14,6 +14,14 @@
 //   multival_cli check-file <file.aut> <props.mcl>
 //       props.mcl: one "name: formula" per line; '#' comments
 //   multival_cli dot   <file.aut> [out.dot]
+//   multival_cli serve --socket <path> [-j N] [--queue N] [--deadline MS]
+//       [--cache-mb N] [--cache-dir DIR]
+//   multival_cli client --socket <path> <ping|stats|shutdown>
+//   multival_cli client --socket <path> reach <file.imc> [time-bound]
+//   multival_cli client --socket <path> bounds <file.imc>
+//   multival_cli client --socket <path> check <file.aut> '<formula>'
+//   multival_cli client --socket <path> throughput <file.imc> <label-glob>
+#include <charconv>
 #include <fstream>
 #include <iostream>
 #include <set>
@@ -37,10 +45,46 @@
 #include "explore/oracle.hpp"
 #include "proc/generator.hpp"
 #include "proc/parser.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
 
 namespace {
 
 using namespace multival;
+
+/// Malformed command line (unknown flag, bad number): main prints usage to
+/// stderr and exits nonzero, the same path as an unknown subcommand.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+long parse_long(const std::string& text, const char* what) {
+  long v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw UsageError(std::string("bad ") + what + ": '" + text + "'");
+  }
+  return v;
+}
+
+unsigned parse_unsigned(const std::string& text, const char* what) {
+  const long v = parse_long(text, what);
+  if (v < 0) {
+    throw UsageError(std::string("bad ") + what + ": '" + text + "'");
+  }
+  return static_cast<unsigned>(v);
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
 
 lts::Lts load(const std::string& path) {
   std::ifstream in(path);
@@ -155,16 +199,14 @@ int cmd_gen(int argc, char** argv) {
     const std::string a = argv[i];
     if (a == "-o" && i + 1 < argc) {
       out_path = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      throw UsageError("gen: unknown flag " + a);
     } else {
-      args.push_back(static_cast<proc::Value>(std::stol(a)));
+      args.push_back(
+          static_cast<proc::Value>(parse_long(a, "gen process argument")));
     }
   }
-  std::ifstream in(model_path);
-  if (!in) {
-    throw std::runtime_error("cannot open " + model_path);
-  }
-  const std::string text((std::istreambuf_iterator<char>(in)),
-                         std::istreambuf_iterator<char>());
+  const std::string text = read_file(model_path);
   const proc::Program program = proc::parse_program(text);
   const lts::Lts l = proc::generate(program, entry, args);
   std::cout << entry << ": " << l.num_states() << " states, "
@@ -191,24 +233,22 @@ int cmd_explore(int argc, char** argv) {
     if (a == "-o" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (a == "-j" && i + 1 < argc) {
-      opts.workers = static_cast<unsigned>(std::stoul(argv[++i]));
+      opts.workers = parse_unsigned(argv[++i], "worker count");
     } else if (a == "--dfs") {
       opts.order = explore::Order::kDfs;
     } else if (a == "--fp") {
       opts.store = explore::StoreMode::kFingerprint;
       if (i + 1 < argc && argv[i + 1][0] != '-') {
-        opts.fingerprint_bits = static_cast<unsigned>(std::stoul(argv[++i]));
+        opts.fingerprint_bits = parse_unsigned(argv[++i], "fingerprint bits");
       }
+    } else if (!a.empty() && a[0] == '-') {
+      throw UsageError("explore: unknown flag " + a);
     } else {
-      args.push_back(static_cast<proc::Value>(std::stol(a)));
+      args.push_back(
+          static_cast<proc::Value>(parse_long(a, "explore process argument")));
     }
   }
-  std::ifstream in(model_path);
-  if (!in) {
-    throw std::runtime_error("cannot open " + model_path);
-  }
-  const std::string text((std::istreambuf_iterator<char>(in)),
-                         std::istreambuf_iterator<char>());
+  const std::string text = read_file(model_path);
   auto program = std::make_shared<const proc::Program>(
       proc::parse_program(text));
   const explore::OraclePtr oracle = explore::proc_oracle(program, entry, args);
@@ -345,6 +385,112 @@ int cmd_dot(const std::string& in, const std::string& out) {
   return 0;
 }
 
+int cmd_serve(int argc, char** argv) {
+  serve::ServerOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket" && i + 1 < argc) {
+      opts.socket_path = argv[++i];
+    } else if (a == "-j" && i + 1 < argc) {
+      opts.service.workers = parse_unsigned(argv[++i], "worker count");
+    } else if (a == "--queue" && i + 1 < argc) {
+      opts.service.queue_capacity = parse_unsigned(argv[++i], "queue size");
+    } else if (a == "--deadline" && i + 1 < argc) {
+      opts.service.default_deadline =
+          std::chrono::milliseconds(parse_unsigned(argv[++i], "deadline"));
+    } else if (a == "--cache-mb" && i + 1 < argc) {
+      opts.service.cache.capacity_bytes =
+          static_cast<std::size_t>(parse_unsigned(argv[++i], "cache size"))
+          << 20;
+    } else if (a == "--cache-dir" && i + 1 < argc) {
+      opts.service.cache.disk_dir = argv[++i];
+    } else {
+      throw UsageError("serve: unknown flag " + a);
+    }
+  }
+  if (opts.socket_path.empty()) {
+    throw UsageError("serve: --socket <path> is required");
+  }
+  const std::string path = opts.socket_path;
+  serve::Server server(std::move(opts));
+  std::cout << "serving on " << path << "\n" << std::flush;
+  server.run();
+  server.service().metrics().to_table().print(std::cout);
+  return 0;
+}
+
+int cmd_client(int argc, char** argv) {
+  std::string socket_path;
+  std::vector<std::string> rest;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--socket" && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      throw UsageError("client: unknown flag " + a);
+    } else {
+      rest.push_back(a);
+    }
+  }
+  if (socket_path.empty() || rest.empty()) {
+    throw UsageError("client: --socket <path> and a verb are required");
+  }
+  serve::Request request;
+  request.id = 1;
+  try {
+    request.verb = serve::parse_verb(rest[0]);
+  } catch (const serve::ProtocolError&) {
+    throw UsageError("client: unknown verb '" + rest[0] + "'");
+  }
+  switch (request.verb) {
+    case serve::Verb::kPing:
+    case serve::Verb::kStats:
+    case serve::Verb::kShutdown:
+      if (rest.size() != 1) {
+        throw UsageError("client: '" + rest[0] + "' takes no arguments");
+      }
+      break;
+    case serve::Verb::kReach:
+      if (rest.size() != 2 && rest.size() != 3) {
+        throw UsageError("client: reach <file.imc> [time-bound]");
+      }
+      request.payload = read_file(rest[1]);
+      if (rest.size() == 3) {
+        request.arg = rest[2];
+      }
+      break;
+    case serve::Verb::kBounds:
+      if (rest.size() != 2) {
+        throw UsageError("client: bounds <file.imc>");
+      }
+      request.payload = read_file(rest[1]);
+      break;
+    case serve::Verb::kCheck:
+      if (rest.size() != 3) {
+        throw UsageError("client: check <file.aut> '<formula>'");
+      }
+      request.payload = read_file(rest[1]);
+      request.arg = rest[2];
+      break;
+    case serve::Verb::kThroughput:
+      if (rest.size() != 3) {
+        throw UsageError("client: throughput <file.imc> <label-glob>");
+      }
+      request.payload = read_file(rest[1]);
+      request.arg = rest[2];
+      break;
+  }
+  serve::Client client(socket_path);
+  const serve::Response response = client.call(request);
+  if (response.status == serve::Status::kOk) {
+    std::cout << response.body << "\n";
+    return 0;
+  }
+  std::cerr << serve::to_string(response.status) << ": " << response.body
+            << "\n";
+  return response.status == serve::Status::kOverloaded ? 3 : 2;
+}
+
 int usage() {
   std::cerr
       << "usage:\n"
@@ -361,7 +507,17 @@ int usage() {
          "[--dfs] [--fp [bits]] [-o out.aut|out.mvl]\n"
          "  multival_cli solve <file.imc> [--stats]\n"
          "  multival_cli check-file <file.aut> <props.mcl>\n"
-         "  multival_cli dot   <file.aut> [out.dot]\n";
+         "  multival_cli dot   <file.aut> [out.dot]\n"
+         "  multival_cli serve --socket <path> [-j N] [--queue N] "
+         "[--deadline MS] [--cache-mb N] [--cache-dir DIR]\n"
+         "  multival_cli client --socket <path> <ping|stats|shutdown>\n"
+         "  multival_cli client --socket <path> reach <file.imc> "
+         "[time-bound]\n"
+         "  multival_cli client --socket <path> bounds <file.imc>\n"
+         "  multival_cli client --socket <path> check <file.aut> "
+         "'<formula>'\n"
+         "  multival_cli client --socket <path> throughput <file.imc> "
+         "<label-glob>\n";
   return 2;
 }
 
@@ -407,6 +563,15 @@ int main(int argc, char** argv) {
     if (cmd == "dot" && (argc == 3 || argc == 4)) {
       return cmd_dot(argv[2], argc == 4 ? argv[3] : "");
     }
+    if (cmd == "serve" && argc >= 3) {
+      return cmd_serve(argc, argv);
+    }
+    if (cmd == "client" && argc >= 4) {
+      return cmd_client(argc, argv);
+    }
+    return usage();
+  } catch (const UsageError& e) {
+    std::cerr << "error: " << e.what() << "\n";
     return usage();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -85,7 +85,8 @@ void record(EvalStats* stats, const std::string& what, const lts::Lts& l,
   stats->steps.push_back(StepStat{what, states_before, l.num_states(), seconds});
 }
 
-lts::Lts eval_node(const Node& n, bool with_min, EvalStats* stats) {
+lts::Lts eval_node(const Node& n, bool with_min, EvalStats* stats,
+                   MinimizeCache* cache) {
   switch (n.kind) {
     case Node::Kind::kLeaf: {
       const StepTimer timer;
@@ -94,29 +95,40 @@ lts::Lts eval_node(const Node& n, bool with_min, EvalStats* stats) {
       return l;
     }
     case Node::Kind::kPar: {
-      const lts::Lts a = eval_node(*n.children[0], with_min, stats);
-      const lts::Lts b = eval_node(*n.children[1], with_min, stats);
+      const lts::Lts a = eval_node(*n.children[0], with_min, stats, cache);
+      const lts::Lts b = eval_node(*n.children[1], with_min, stats, cache);
       const StepTimer timer;
       lts::Lts p = lts::parallel(a, b, n.gates);
       record(stats, "compose", p, p.num_states(), timer.seconds());
       return p;
     }
     case Node::Kind::kHide: {
-      lts::Lts inner = eval_node(*n.children[0], with_min, stats);
+      lts::Lts inner = eval_node(*n.children[0], with_min, stats, cache);
       const StepTimer timer;
       lts::Lts h = lts::hide(inner, n.gates);
       record(stats, "hide", h, h.num_states(), timer.seconds());
       return h;
     }
     case Node::Kind::kMinimize: {
-      lts::Lts inner = eval_node(*n.children[0], with_min, stats);
+      lts::Lts inner = eval_node(*n.children[0], with_min, stats, cache);
       if (!with_min) {
         return inner;
       }
       const std::size_t before = inner.num_states();
       const StepTimer timer;
+      if (cache != nullptr) {
+        if (std::optional<lts::Lts> cached =
+                cache->lookup(inner, n.equivalence)) {
+          record(stats, n.name + " (cached)", *cached, before,
+                 timer.seconds());
+          return *std::move(cached);
+        }
+      }
       lts::Lts reduced =
           bisim::minimize(inner, n.equivalence).quotient;
+      if (cache != nullptr) {
+        cache->store(inner, n.equivalence, reduced);
+      }
       record(stats, n.name, reduced, before, timer.seconds());
       return reduced;
     }
@@ -150,11 +162,11 @@ core::Table EvalStats::to_table(const std::string& title) const {
 }
 
 lts::Lts evaluate(const NodePtr& root, bool with_minimization,
-                  EvalStats* stats) {
+                  EvalStats* stats, MinimizeCache* min_cache) {
   if (root == nullptr) {
     throw std::invalid_argument("compose::evaluate: null root");
   }
-  return eval_node(*root, with_minimization, stats);
+  return eval_node(*root, with_minimization, stats, min_cache);
 }
 
 Comparison compare_strategies(const NodePtr& root) {

@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -71,10 +72,30 @@ struct EvalStats {
   [[nodiscard]] core::Table to_table(const std::string& title) const;
 };
 
+/// Cache consulted at minimisation points, keyed by the *content* of the
+/// pre-minimisation LTS and the equivalence.  Re-evaluating a pipeline in
+/// which one leaf changed then only re-minimises the subtrees whose inputs
+/// actually differ — every untouched subtree produces a bitwise-identical
+/// intermediate LTS and hits.  serve::PipelineCache is the standard
+/// implementation (LRU + optional disk tier).
+class MinimizeCache {
+ public:
+  virtual ~MinimizeCache() = default;
+  /// The cached quotient of @p input under @p e, if present.
+  [[nodiscard]] virtual std::optional<lts::Lts> lookup(
+      const lts::Lts& input, bisim::Equivalence e) = 0;
+  /// Records that minimising @p input under @p e yields @p reduced.
+  virtual void store(const lts::Lts& input, bisim::Equivalence e,
+                     const lts::Lts& reduced) = 0;
+};
+
 /// Evaluates the expression.  @p with_minimization toggles the minimisation
-/// points; @p stats (optional) receives size records.
+/// points; @p stats (optional) receives size records; @p min_cache
+/// (optional) short-circuits minimisation points whose input was already
+/// minimised (cached steps are recorded with a "(cached)" suffix).
 [[nodiscard]] lts::Lts evaluate(const NodePtr& root, bool with_minimization,
-                                EvalStats* stats = nullptr);
+                                EvalStats* stats = nullptr,
+                                MinimizeCache* min_cache = nullptr);
 
 /// Convenience: compositional vs monolithic comparison.
 struct Comparison {

@@ -28,21 +28,60 @@ void put_varint(std::ostream& os, std::uint64_t v) {
   os.put(static_cast<char>(v));
 }
 
-std::uint64_t get_varint(std::istream& is) {
-  std::uint64_t v = 0;
-  int shift = 0;
-  while (true) {
-    const int c = is.get();
-    if (c == std::istream::traits_type::eof() || shift > 63) {
-      throw std::runtime_error("lts_stream: truncated varint");
+// Reader cursor: counts consumed bytes so every error names the offset at
+// which the stream stopped making sense.
+class Cursor {
+ public:
+  explicit Cursor(std::istream& is) : is_(is) {}
+
+  [[nodiscard]] std::uint64_t offset() const { return offset_; }
+
+  /// Next byte, or EOF sentinel (without advancing the offset).
+  int get() {
+    const int c = is_.get();
+    if (c != std::istream::traits_type::eof()) {
+      ++offset_;
     }
-    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
-    if ((c & 0x80) == 0) {
-      return v;
-    }
-    shift += 7;
+    return c;
   }
-}
+
+  void read(char* data, std::size_t n, const char* what) {
+    is_.read(data, static_cast<std::streamsize>(n));
+    const auto got = static_cast<std::uint64_t>(is_.gcount());
+    offset_ += got;
+    if (got != n) {
+      fail(std::string("truncated ") + what);
+    }
+  }
+
+  std::uint64_t varint(const char* what) {
+    std::uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      const int c = get();
+      if (c == std::istream::traits_type::eof()) {
+        fail(std::string("truncated varint in ") + what);
+      }
+      if (shift > 63) {
+        fail(std::string("overlong varint in ") + what);
+      }
+      v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+      if ((c & 0x80) == 0) {
+        return v;
+      }
+      shift += 7;
+    }
+  }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("lts_stream: " + what + " at byte " +
+                             std::to_string(offset_));
+  }
+
+ private:
+  std::istream& is_;
+  std::uint64_t offset_ = 0;
+};
 
 }  // namespace
 
@@ -112,15 +151,18 @@ void write_lts_stream(std::ostream& os, const lts::Lts& l) {
 }
 
 lts::Lts read_lts_stream(std::istream& is) {
+  Cursor in(is);
   char magic[4] = {};
-  is.read(magic, sizeof magic);
-  if (!is || std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
-    throw std::runtime_error("lts_stream: bad magic");
+  in.read(magic, sizeof magic, "magic");
+  if (std::string_view(magic, 4) != std::string_view(kMagic, 4)) {
+    in.fail("bad magic");
   }
-  const int version = is.get();
+  const int version = in.get();
+  if (version == std::istream::traits_type::eof()) {
+    in.fail("truncated version");
+  }
   if (version != kVersion) {
-    throw std::runtime_error("lts_stream: unsupported version " +
-                             std::to_string(version));
+    in.fail("unsupported version " + std::to_string(version));
   }
 
   struct Pending {
@@ -135,64 +177,63 @@ lts::Lts read_lts_stream(std::istream& is) {
   bool saw_end = false;
 
   while (!saw_end) {
-    const int rec = is.get();
+    const int rec = in.get();
     if (rec == std::istream::traits_type::eof()) {
-      throw std::runtime_error("lts_stream: missing end record");
+      in.fail("missing end record");
     }
     switch (rec) {
       case kEnd:
         saw_end = true;
         break;
       case kLabelDef: {
-        const std::uint64_t len = get_varint(is);
+        const std::uint64_t len = in.varint("label definition");
         std::string label(len, '\0');
-        is.read(label.data(), static_cast<std::streamsize>(len));
-        if (!is) {
-          throw std::runtime_error("lts_stream: truncated label");
-        }
+        in.read(label.data(), len, "label");
         labels.push_back(std::move(label));
         break;
       }
       case kTransition: {
         Pending p{};
-        p.src = get_varint(is);
-        p.label = get_varint(is);
-        p.dst = get_varint(is);
+        p.src = in.varint("transition");
+        p.label = in.varint("transition");
+        p.dst = in.varint("transition");
         if (p.label >= labels.size()) {
-          throw std::runtime_error("lts_stream: undefined label id");
+          in.fail("undefined label id " + std::to_string(p.label));
         }
         transitions.push_back(p);
         break;
       }
       case kInitial:
         if (saw_initial) {
-          throw std::runtime_error("lts_stream: duplicate initial record");
+          in.fail("duplicate initial record");
         }
         saw_initial = true;
-        initial = get_varint(is);
+        initial = in.varint("initial record");
         break;
       case kStateCount:
         if (saw_count) {
-          throw std::runtime_error("lts_stream: duplicate state count");
+          in.fail("duplicate state count");
         }
         saw_count = true;
-        num_states = get_varint(is);
+        num_states = in.varint("state count");
         break;
       default:
-        throw std::runtime_error("lts_stream: unknown record type " +
-                                 std::to_string(rec));
+        in.fail("unknown record type " + std::to_string(rec));
     }
   }
+  if (is.peek() != std::istream::traits_type::eof()) {
+    in.fail("trailing garbage after end record");
+  }
   if (!saw_initial || !saw_count) {
-    throw std::runtime_error("lts_stream: missing initial or state count");
+    in.fail("missing initial or state count");
   }
   for (const Pending& p : transitions) {
     if (p.src >= num_states || p.dst >= num_states) {
-      throw std::runtime_error("lts_stream: transition state out of range");
+      in.fail("transition state out of range");
     }
   }
   if (num_states > 0 && initial >= num_states) {
-    throw std::runtime_error("lts_stream: initial state out of range");
+    in.fail("initial state out of range");
   }
 
   lts::Lts out;

@@ -56,7 +56,9 @@ class LtsStreamWriter {
 void write_lts_stream(std::ostream& os, const lts::Lts& l);
 
 /// Reads a stream back into an Lts.  Throws std::runtime_error on
-/// malformed input.
+/// malformed input; every message names the byte offset at which the
+/// stream became invalid.  The end record must be followed by EOF —
+/// trailing bytes are rejected.
 [[nodiscard]] lts::Lts read_lts_stream(std::istream& is);
 
 /// File convenience wrappers.

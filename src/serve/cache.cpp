@@ -1,0 +1,269 @@
+#include "serve/cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "explore/lts_stream.hpp"
+
+namespace multival::serve {
+
+namespace {
+
+// Amortised cost of the list node, map slot and key bookkeeping per entry,
+// so capacity_bytes also bounds caches full of tiny payloads.
+constexpr std::size_t kEntryOverhead = 128;
+
+constexpr char kMagic[4] = {'M', 'V', 'C', 'R'};
+constexpr std::uint8_t kVersion = 1;
+
+enum Record : std::uint8_t {
+  kEnd = 0x00,
+  kKey = 0x01,
+  kPayload = 0x02,
+};
+
+void put_varint(std::ostream& os, std::uint64_t v) {
+  while (v >= 0x80) {
+    os.put(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  os.put(static_cast<char>(v));
+}
+
+// Returns false on truncation / overlong input instead of throwing: a
+// corrupt cache entry is a miss, not an error.
+bool get_varint(std::istream& is, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    const int c = is.get();
+    if (c == std::istream::traits_type::eof() || shift > 63) {
+      return false;
+    }
+    v |= static_cast<std::uint64_t>(c & 0x7f) << shift;
+    if ((c & 0x80) == 0) {
+      out = v;
+      return true;
+    }
+    shift += 7;
+  }
+}
+
+void put_u64_be(std::ostream& os, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    os.put(static_cast<char>((v >> (i * 8)) & 0xff));
+  }
+}
+
+bool get_u64_be(std::istream& is, std::uint64_t& out) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int c = is.get();
+    if (c == std::istream::traits_type::eof()) {
+      return false;
+    }
+    v = (v << 8) | static_cast<std::uint64_t>(c & 0xff);
+  }
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache() : ResultCache(Options{}) {}
+
+ResultCache::ResultCache(Options opts) : opts_(std::move(opts)) {}
+
+std::optional<std::string> ResultCache::lookup(const CacheKey& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.hits;
+    return it->second->payload;
+  }
+  if (!opts_.disk_dir.empty()) {
+    if (std::optional<std::string> payload = disk_load(key)) {
+      ++stats_.hits;
+      ++stats_.disk_hits;
+      // Promote into the memory tier without re-writing the disk entry.
+      insert_locked(key, *payload);
+      return payload;
+    }
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void ResultCache::insert(const CacheKey& key, std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!opts_.disk_dir.empty()) {
+    disk_store(key, payload);
+  }
+  insert_locked(key, std::move(payload));
+}
+
+void ResultCache::insert_locked(const CacheKey& key, std::string payload) {
+  ++stats_.insertions;
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_ -= it->second->payload.size();
+    bytes_ += payload.size();
+    it->second->payload = std::move(payload);
+    lru_.splice(lru_.begin(), lru_, it->second);
+  } else {
+    lru_.push_front(Entry{key, std::move(payload)});
+    map_[key] = lru_.begin();
+    bytes_ += lru_.front().payload.size() + kEntryOverhead;
+  }
+  evict_locked();
+}
+
+void ResultCache::evict_locked() {
+  while (bytes_ > opts_.capacity_bytes && lru_.size() > 1) {
+    const Entry& victim = lru_.back();
+    bytes_ -= victim.payload.size() + kEntryOverhead;
+    map_.erase(victim.key);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+std::size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+std::string ResultCache::disk_path(const CacheKey& key) const {
+  return opts_.disk_dir + "/" + key.hex() + ".mvcr";
+}
+
+std::optional<std::string> ResultCache::disk_load(const CacheKey& key) {
+  std::ifstream is(disk_path(key), std::ios::binary);
+  if (!is) {
+    return std::nullopt;  // plain miss: entry was never written
+  }
+  char magic[4] = {};
+  is.read(magic, sizeof magic);
+  if (!is || std::string_view(magic, 4) != std::string_view(kMagic, 4) ||
+      is.get() != kVersion) {
+    ++stats_.disk_errors;
+    return std::nullopt;
+  }
+  std::optional<std::string> payload;
+  bool saw_key = false;
+  while (true) {
+    const int rec = is.get();
+    if (rec == kEnd) {
+      break;
+    }
+    if (rec == kKey) {
+      CacheKey stored;
+      if (!get_u64_be(is, stored.hi) || !get_u64_be(is, stored.lo) ||
+          stored != key) {
+        ++stats_.disk_errors;
+        return std::nullopt;
+      }
+      saw_key = true;
+    } else if (rec == kPayload) {
+      std::uint64_t len = 0;
+      if (!get_varint(is, len)) {
+        ++stats_.disk_errors;
+        return std::nullopt;
+      }
+      std::string data(len, '\0');
+      is.read(data.data(), static_cast<std::streamsize>(len));
+      if (!is) {
+        ++stats_.disk_errors;
+        return std::nullopt;
+      }
+      payload = std::move(data);
+    } else {
+      ++stats_.disk_errors;
+      return std::nullopt;
+    }
+  }
+  if (!saw_key || !payload.has_value()) {
+    ++stats_.disk_errors;
+    return std::nullopt;
+  }
+  return payload;
+}
+
+void ResultCache::disk_store(const CacheKey& key, const std::string& payload) {
+  const std::string path = disk_path(key);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) {
+      ++stats_.disk_errors;
+      return;  // disk tier is best-effort; memory tier still serves
+    }
+    os.write(kMagic, sizeof kMagic);
+    os.put(static_cast<char>(kVersion));
+    os.put(static_cast<char>(kKey));
+    put_u64_be(os, key.hi);
+    put_u64_be(os, key.lo);
+    os.put(static_cast<char>(kPayload));
+    put_varint(os, payload.size());
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    os.put(static_cast<char>(kEnd));
+    os.flush();
+    if (!os) {
+      ++stats_.disk_errors;
+      std::remove(tmp.c_str());
+      return;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ++stats_.disk_errors;
+    std::remove(tmp.c_str());
+    return;
+  }
+  ++stats_.disk_writes;
+}
+
+PipelineCache::PipelineCache(ResultCache::Options opts)
+    : cache_(std::move(opts)) {}
+
+CacheKey PipelineCache::key_of(const lts::Lts& input, bisim::Equivalence e) {
+  Hasher h;
+  h.str("minimize-v1");
+  h.str(bisim::to_string(e));
+  hash_append(h, input);
+  return h.key();
+}
+
+std::optional<lts::Lts> PipelineCache::lookup(const lts::Lts& input,
+                                              bisim::Equivalence e) {
+  std::optional<std::string> payload = cache_.lookup(key_of(input, e));
+  if (!payload.has_value()) {
+    return std::nullopt;
+  }
+  std::istringstream is(*payload);
+  try {
+    return explore::read_lts_stream(is);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;  // corrupt payload: fall back to re-minimising
+  }
+}
+
+void PipelineCache::store(const lts::Lts& input, bisim::Equivalence e,
+                          const lts::Lts& reduced) {
+  std::ostringstream os;
+  explore::write_lts_stream(os, reduced);
+  cache_.insert(key_of(input, e), std::move(os).str());
+}
+
+}  // namespace multival::serve

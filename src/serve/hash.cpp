@@ -1,0 +1,117 @@
+#include "serve/hash.hpp"
+
+#include <cstring>
+
+namespace multival::serve {
+
+namespace {
+
+constexpr std::uint64_t kFnvOffsetA = 14695981039346656037ull;
+constexpr std::uint64_t kFnvOffsetB = 0x9e3779b97f4a7c15ull;
+constexpr std::uint64_t kFnvPrime = 1099511628211ull;
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+std::string CacheKey::hex() const {
+  static const char* digits = "0123456789abcdef";
+  std::string out(32, '0');
+  for (int i = 0; i < 16; ++i) {
+    const std::uint64_t word = i < 8 ? hi : lo;
+    const int byte = 7 - (i & 7);
+    const auto v = static_cast<unsigned>((word >> (byte * 8)) & 0xff);
+    out[static_cast<std::size_t>(2 * i)] = digits[v >> 4];
+    out[static_cast<std::size_t>(2 * i + 1)] = digits[v & 0xf];
+  }
+  return out;
+}
+
+Hasher::Hasher() : a_(kFnvOffsetA), b_(kFnvOffsetB) {}
+
+void Hasher::bytes(const void* data, std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    a_ = (a_ ^ p[i]) * kFnvPrime;
+    b_ = (b_ ^ (p[i] ^ 0x5c)) * kFnvPrime;
+  }
+}
+
+void Hasher::u64(std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<unsigned char>((v >> (i * 8)) & 0xff);
+  }
+  bytes(buf, sizeof buf);
+}
+
+void Hasher::str(std::string_view s) {
+  u64(s.size());
+  bytes(s.data(), s.size());
+}
+
+void Hasher::f64(double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  u64(bits);
+}
+
+CacheKey Hasher::key() const {
+  return CacheKey{splitmix64(a_), splitmix64(b_ ^ a_)};
+}
+
+void hash_append(Hasher& h, const lts::Lts& l) {
+  h.str("lts");
+  h.u64(l.num_states());
+  h.u64(l.num_states() == 0 ? 0 : l.initial_state());
+  h.u64(l.num_transitions());
+  for (const lts::Transition& t : l.all_transitions()) {
+    h.u64(t.src);
+    h.str(l.actions().name(t.action));
+    h.u64(t.dst);
+  }
+}
+
+void hash_append(Hasher& h, const imc::Imc& m) {
+  h.str("imc");
+  h.u64(m.num_states());
+  h.u64(m.num_states() == 0 ? 0 : m.initial_state());
+  for (imc::StateId s = 0; s < m.num_states(); ++s) {
+    const auto inter = m.interactive(s);
+    h.u64(inter.size());
+    for (const imc::InterEdge& e : inter) {
+      h.str(m.actions().name(e.action));
+      h.u64(e.dst);
+    }
+    const auto mark = m.markovian(s);
+    h.u64(mark.size());
+    for (const imc::MarkEdge& e : mark) {
+      h.f64(e.rate);
+      h.u64(e.dst);
+      h.str(e.label);
+    }
+  }
+}
+
+void hash_append(Hasher& h, const markov::Ctmc& c) {
+  h.str("ctmc");
+  h.u64(c.num_states());
+  for (double p : c.initial_distribution()) {
+    h.f64(p);
+  }
+  h.u64(c.num_transitions());
+  for (const markov::RateTransition& t : c.transitions()) {
+    h.u64(t.src);
+    h.u64(t.dst);
+    h.f64(t.rate);
+    h.str(t.label);
+  }
+}
+
+}  // namespace multival::serve

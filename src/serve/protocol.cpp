@@ -1,0 +1,198 @@
+#include "serve/protocol.hpp"
+
+#include <charconv>
+#include <vector>
+
+namespace multival::serve {
+
+namespace {
+
+constexpr std::string_view kTag = "mv1";
+
+std::uint64_t parse_u64(std::string_view text, const char* what) {
+  std::uint64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw ProtocolError(std::string("protocol: bad ") + what + " '" +
+                        std::string(text) + "'");
+  }
+  return v;
+}
+
+std::vector<std::string_view> split_fields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t tab = line.find('\t', start);
+    if (tab == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, tab - start));
+    start = tab + 1;
+  }
+}
+
+}  // namespace
+
+std::string_view to_string(Verb v) {
+  switch (v) {
+    case Verb::kPing:
+      return "ping";
+    case Verb::kStats:
+      return "stats";
+    case Verb::kShutdown:
+      return "shutdown";
+    case Verb::kReach:
+      return "reach";
+    case Verb::kBounds:
+      return "bounds";
+    case Verb::kCheck:
+      return "check";
+    case Verb::kThroughput:
+      return "throughput";
+  }
+  return "?";
+}
+
+std::string_view to_string(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kError:
+      return "error";
+    case Status::kOverloaded:
+      return "overloaded";
+    case Status::kTimeout:
+      return "timeout";
+  }
+  return "?";
+}
+
+Verb parse_verb(std::string_view text) {
+  for (Verb v : {Verb::kPing, Verb::kStats, Verb::kShutdown, Verb::kReach,
+                 Verb::kBounds, Verb::kCheck, Verb::kThroughput}) {
+    if (text == to_string(v)) {
+      return v;
+    }
+  }
+  throw ProtocolError("protocol: unknown verb '" + std::string(text) + "'");
+}
+
+Status parse_status(std::string_view text) {
+  for (Status s :
+       {Status::kOk, Status::kError, Status::kOverloaded, Status::kTimeout}) {
+    if (text == to_string(s)) {
+      return s;
+    }
+  }
+  throw ProtocolError("protocol: unknown status '" + std::string(text) + "'");
+}
+
+std::string escape_field(std::string_view raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (char c : raw) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string unescape_field(std::string_view field) {
+  std::string out;
+  out.reserve(field.size());
+  for (std::size_t i = 0; i < field.size(); ++i) {
+    if (field[i] != '\\') {
+      out += field[i];
+      continue;
+    }
+    if (i + 1 >= field.size()) {
+      throw ProtocolError("protocol: dangling escape");
+    }
+    switch (field[++i]) {
+      case '\\':
+        out += '\\';
+        break;
+      case 'n':
+        out += '\n';
+        break;
+      case 't':
+        out += '\t';
+        break;
+      default:
+        throw ProtocolError("protocol: bad escape \\" +
+                            std::string(1, field[i]));
+    }
+  }
+  return out;
+}
+
+std::string encode_request(const Request& r) {
+  std::string line(kTag);
+  line += '\t';
+  line += std::to_string(r.id);
+  line += '\t';
+  line += to_string(r.verb);
+  line += '\t';
+  line += std::to_string(r.deadline.count());
+  line += '\t';
+  line += escape_field(r.arg);
+  line += '\t';
+  line += escape_field(r.payload);
+  return line;
+}
+
+Request decode_request(std::string_view line) {
+  const auto fields = split_fields(line);
+  if (fields.size() != 6 || fields[0] != kTag) {
+    throw ProtocolError("protocol: malformed request line (" +
+                        std::to_string(fields.size()) + " fields)");
+  }
+  Request r;
+  r.id = parse_u64(fields[1], "request id");
+  r.verb = parse_verb(fields[2]);
+  r.deadline =
+      std::chrono::milliseconds(parse_u64(fields[3], "deadline"));
+  r.arg = unescape_field(fields[4]);
+  r.payload = unescape_field(fields[5]);
+  return r;
+}
+
+std::string encode_response(const Response& r) {
+  std::string line(kTag);
+  line += '\t';
+  line += std::to_string(r.id);
+  line += '\t';
+  line += to_string(r.status);
+  line += '\t';
+  line += escape_field(r.body);
+  return line;
+}
+
+Response decode_response(std::string_view line) {
+  const auto fields = split_fields(line);
+  if (fields.size() != 4 || fields[0] != kTag) {
+    throw ProtocolError("protocol: malformed response line (" +
+                        std::to_string(fields.size()) + " fields)");
+  }
+  Response r;
+  r.id = parse_u64(fields[1], "response id");
+  r.status = parse_status(fields[2]);
+  r.body = unescape_field(fields[3]);
+  return r;
+}
+
+}  // namespace multival::serve

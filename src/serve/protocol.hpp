@@ -1,0 +1,92 @@
+// Newline-delimited request/response protocol of the evaluation service.
+//
+// One message per line; fields are separated by a single TAB and escaped so
+// that neither TAB nor newline ever appears raw inside a field:
+//
+//   '\\' -> "\\\\"     '\n' -> "\\n"     '\t' -> "\\t"
+//
+// Grammar (all fields escaped):
+//
+//   request  ::= "mv1" TAB id TAB verb TAB deadline-ms TAB arg TAB payload LF
+//   response ::= "mv1" TAB id TAB status TAB body LF
+//
+//   id          decimal uint64, chosen by the client, echoed in responses
+//               (responses on one connection may arrive out of order)
+//   verb        ping | stats | shutdown | reach | bounds | check | throughput
+//   deadline-ms decimal; 0 = server default
+//   arg         verb-specific argument (formula for check, label glob for
+//               throughput, optional time bound for reach; else empty)
+//   payload     model text (.aut / extended-.aut) for the solve verbs
+//   status      ok | error | overloaded | timeout
+//
+// Solve verbs:
+//   reach       payload = IMC; P[eventually absorbed] of the closed CTMC
+//               from its initial state (arg = time bound t: P[absorbed<=t])
+//   bounds      payload = nondeterministic IMC; certified min/max scheduler
+//               bounds on reaching absorption, and on expected time
+//   check       payload = LTS, arg = mu-calculus formula; TRUE/FALSE at the
+//               initial state plus the satisfying-state count
+//   throughput  payload = IMC, arg = label glob; steady-state throughput
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace multival::serve {
+
+struct ProtocolError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+enum class Verb {
+  kPing,
+  kStats,
+  kShutdown,
+  kReach,
+  kBounds,
+  kCheck,
+  kThroughput,
+};
+
+enum class Status {
+  kOk,
+  kError,
+  kOverloaded,
+  kTimeout,
+};
+
+struct Request {
+  std::uint64_t id = 0;
+  Verb verb = Verb::kPing;
+  /// 0 = use the server's default deadline.
+  std::chrono::milliseconds deadline{0};
+  std::string arg;
+  std::string payload;
+};
+
+struct Response {
+  std::uint64_t id = 0;
+  Status status = Status::kError;
+  std::string body;
+};
+
+[[nodiscard]] std::string_view to_string(Verb v);
+[[nodiscard]] std::string_view to_string(Status s);
+[[nodiscard]] Verb parse_verb(std::string_view text);    // throws ProtocolError
+[[nodiscard]] Status parse_status(std::string_view text);
+
+/// Escapes backslash, newline and TAB; unescape inverts (and rejects stray
+/// escapes).
+[[nodiscard]] std::string escape_field(std::string_view raw);
+[[nodiscard]] std::string unescape_field(std::string_view field);
+
+/// Message <-> line (without the trailing '\n').
+[[nodiscard]] std::string encode_request(const Request& r);
+[[nodiscard]] Request decode_request(std::string_view line);
+[[nodiscard]] std::string encode_response(const Response& r);
+[[nodiscard]] Response decode_response(std::string_view line);
+
+}  // namespace multival::serve

@@ -1,0 +1,230 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+namespace multival::serve {
+
+namespace {
+
+// sockaddr_un::sun_path is ~108 bytes; a longer path cannot be bound.
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    throw std::runtime_error("serve: bad socket path '" + path + "'");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+// Full-buffer send; MSG_NOSIGNAL so a vanished peer yields EPIPE, not
+// SIGPIPE.  Returns false once the connection is unusable.
+bool send_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t k = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (k < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return false;
+    }
+    data += k;
+    n -= static_cast<std::size_t>(k);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  const sockaddr_un addr = make_address(opts_.socket_path);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("serve: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  ::unlink(opts_.socket_path.c_str());  // stale socket from a previous run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(listen_fd_, opts_.listen_backlog) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("serve: cannot listen on " + opts_.socket_path +
+                             ": " + err);
+  }
+  service_ = std::make_unique<Service>(opts_.service);
+}
+
+Server::~Server() {
+  stop();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(opts_.socket_path.c_str());
+}
+
+void Server::stop() { stop_requested_.store(true); }
+
+void Server::run() {
+  while (!stop_requested_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout ms=*/100);
+    if (ready <= 0) {
+      continue;  // timeout (re-check the stop flag) or EINTR
+    }
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      continue;
+    }
+    auto conn = std::make_shared<Connection>();
+    conn->fd = fd;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    conn_threads_.emplace_back([this, conn] { serve_connection(conn); });
+  }
+  // Teardown: unblock every connection reader (each reader closes its own
+  // fd on exit), join them, then drain the service so no completion
+  // callback can outlive the connections.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (const ConnPtr& conn : conns_) {
+      std::lock_guard<std::mutex> wlock(conn->write_mu);
+      if (conn->open) {
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+    }
+  }
+  for (std::thread& t : conn_threads_) {
+    t.join();
+  }
+  conn_threads_.clear();
+  service_->shutdown();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+}
+
+void Server::serve_connection(const ConnPtr& conn) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t k = ::recv(conn->fd, chunk, sizeof chunk, 0);
+    if (k < 0 && errno == EINTR) {
+      continue;
+    }
+    if (k <= 0) {
+      break;  // peer closed, error, or teardown shutdown()
+    }
+    buffer.append(chunk, static_cast<std::size_t>(k));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start);
+         nl != std::string::npos; nl = buffer.find('\n', start)) {
+      const std::string line = buffer.substr(start, nl - start);
+      start = nl + 1;
+      if (!line.empty()) {
+        handle_line(conn, line);
+      }
+    }
+    buffer.erase(0, start);
+  }
+  // The reader owns the fd: closing only here (under the write lock) means
+  // a completion callback can never write to a recycled descriptor.
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  conn->open = false;
+  ::close(conn->fd);
+}
+
+void Server::handle_line(const ConnPtr& conn, const std::string& line) {
+  Request request;
+  try {
+    request = decode_request(line);
+  } catch (const std::exception& e) {
+    write_response(conn, Response{0, Status::kError, e.what()});
+    return;
+  }
+  if (request.verb == Verb::kShutdown) {
+    write_response(conn, Response{request.id, Status::kOk, "bye"});
+    stop();
+    return;
+  }
+  service_->submit_async(std::move(request), [conn](Response response) {
+    write_response(conn, response);
+  });
+}
+
+void Server::write_response(const ConnPtr& conn, const Response& r) {
+  const std::string line = encode_response(r) + "\n";
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (!conn->open) {
+    return;
+  }
+  if (!send_all(conn->fd, line.data(), line.size())) {
+    // Wake the reader (which owns the close); do not close here.
+    ::shutdown(conn->fd, SHUT_RDWR);
+  }
+}
+
+Client::Client(const std::string& socket_path) {
+  const sockaddr_un addr = make_address(socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("serve client: socket() failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("serve client: cannot connect to " + socket_path +
+                             ": " + err);
+  }
+}
+
+Client::~Client() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+}
+
+Response Client::call(const Request& r) {
+  const std::string line = encode_request(r) + "\n";
+  if (!send_all(fd_, line.data(), line.size())) {
+    throw std::runtime_error("serve client: send failed: " +
+                             std::string(std::strerror(errno)));
+  }
+  char chunk[4096];
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      const std::string resp_line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      if (resp_line.empty()) {
+        continue;
+      }
+      return decode_response(resp_line);
+    }
+    const ssize_t k = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (k < 0 && errno == EINTR) {
+      continue;
+    }
+    if (k <= 0) {
+      throw std::runtime_error(
+          "serve client: connection closed before a response arrived");
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(k));
+  }
+}
+
+}  // namespace multival::serve

@@ -1,0 +1,89 @@
+// Unix-domain-socket front end over serve::Service, plus the matching
+// synchronous client.
+//
+// The server accepts stream connections on a filesystem socket; each
+// connection carries newline-delimited protocol lines (serve/protocol).
+// Requests are submitted to the service and responses are written back on
+// whichever thread completes them (a per-connection write lock keeps lines
+// intact), so responses to one connection may arrive out of request order —
+// clients correlate by id.  A "shutdown" request stops the accept loop
+// after acknowledging; run() then drains the service and returns.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "serve/service.hpp"
+
+namespace multival::serve {
+
+struct ServerOptions {
+  std::string socket_path;  ///< required; unlinked and re-bound on start
+  ServiceOptions service;
+  int listen_backlog = 64;
+};
+
+class Server {
+ public:
+  /// Binds and listens; throws std::runtime_error on socket failure.
+  explicit Server(ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Accept loop; returns after stop() (or a client "shutdown" request)
+  /// once all connection readers have been joined and the service drained.
+  void run();
+
+  /// Requests the accept loop to exit (thread-safe, non-blocking).
+  void stop();
+
+  [[nodiscard]] Service& service() { return *service_; }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::mutex write_mu;
+    bool open = true;  // guarded by write_mu
+  };
+  using ConnPtr = std::shared_ptr<Connection>;
+
+  void serve_connection(const ConnPtr& conn);
+  void handle_line(const ConnPtr& conn, const std::string& line);
+  static void write_response(const ConnPtr& conn, const Response& r);
+
+  ServerOptions opts_;
+  std::unique_ptr<Service> service_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stop_requested_{false};
+  std::mutex conns_mu_;
+  std::vector<ConnPtr> conns_;
+  std::vector<std::thread> conn_threads_;
+};
+
+/// Blocking client: one outstanding request at a time per Client, so the
+/// next response line on the connection is always the answer to call().
+class Client {
+ public:
+  /// Connects; throws std::runtime_error on failure.
+  explicit Client(const std::string& socket_path);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Sends @p r and waits for the response with the same id.
+  [[nodiscard]] Response call(const Request& r);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace multival::serve

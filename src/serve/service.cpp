@@ -1,0 +1,317 @@
+#include "serve/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/parallel.hpp"
+
+namespace multival::serve {
+
+namespace {
+
+// Latency reservoirs are capped; beyond the cap only the counters advance.
+constexpr std::size_t kMaxSamples = 1u << 16;
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+double percentile(std::vector<double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::sort(samples.begin(), samples.end());
+  const auto idx = static_cast<std::size_t>(
+      std::ceil(q * static_cast<double>(samples.size() - 1)));
+  return samples[std::min(idx, samples.size() - 1)];
+}
+
+}  // namespace
+
+core::Table ServiceMetrics::to_table() const {
+  core::Table t("serve metrics", {"metric", "value"});
+  t.add_row({"accepted", std::to_string(accepted)});
+  t.add_row({"completed ok", std::to_string(completed_ok)});
+  t.add_row({"failed", std::to_string(failed)});
+  t.add_row({"shed (overloaded)", std::to_string(shed)});
+  t.add_row({"timed out", std::to_string(timed_out)});
+  t.add_row({"coalesced", std::to_string(coalesced)});
+  t.add_row({"cache hits", std::to_string(cache_hits)});
+  t.add_row({"solves", std::to_string(solves)});
+  t.add_row({"solve errors", std::to_string(solve_errors)});
+  const std::uint64_t keyed = cache_hits + coalesced + solves;
+  t.add_row({"cache hit rate",
+             keyed == 0 ? "n/a"
+                        : core::fmt(static_cast<double>(cache_hits) /
+                                        static_cast<double>(keyed),
+                                    4)});
+  t.add_row({"queue wait p50/p99 (ms)", core::fmt(queue_wait_p50_ms, 3) +
+                                            " / " +
+                                            core::fmt(queue_wait_p99_ms, 3)});
+  t.add_row({"solve p50/p99 (ms)",
+             core::fmt(solve_p50_ms, 3) + " / " + core::fmt(solve_p99_ms, 3)});
+  t.add_row({"latency p50/p99 (ms)", core::fmt(latency_p50_ms, 3) + " / " +
+                                         core::fmt(latency_p99_ms, 3)});
+  t.add_row({"cache insertions/evictions",
+             std::to_string(cache.insertions) + " / " +
+                 std::to_string(cache.evictions)});
+  t.add_row({"cache disk hits/writes/errors",
+             std::to_string(cache.disk_hits) + " / " +
+                 std::to_string(cache.disk_writes) + " / " +
+                 std::to_string(cache.disk_errors)});
+  return t;
+}
+
+Service::Service(ServiceOptions opts)
+    : opts_(std::move(opts)), cache_(opts_.cache) {
+  const unsigned n =
+      opts_.workers == 0 ? core::parallel_threads() : opts_.workers;
+  workers_.reserve(n);
+  for (unsigned w = 0; w < n; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+Service::~Service() { shutdown(); }
+
+void Service::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) {
+      return;
+    }
+    stopping_ = true;
+    joined_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers_) {
+    t.join();
+  }
+}
+
+void Service::record_sample(std::vector<double>& samples, double ms) {
+  if (samples.size() < kMaxSamples) {
+    samples.push_back(ms < 0.0 ? 0.0 : ms);
+  }
+}
+
+void Service::submit_async(Request r, std::function<void(Response)> done) {
+  const auto now = Clock::now();
+  if (r.verb == Verb::kPing) {
+    done(Response{r.id, Status::kOk, "pong"});
+    return;
+  }
+  if (r.verb == Verb::kStats) {
+    done(Response{r.id, Status::kOk, metrics().to_table().to_string()});
+    return;
+  }
+  if (!is_solve_verb(r.verb)) {
+    done(Response{r.id, Status::kError,
+                  "verb '" + std::string(to_string(r.verb)) +
+                      "' is not served by the evaluation service"});
+    return;
+  }
+
+  Prepared prepared;
+  try {
+    prepared = prepare_request(r);
+  } catch (const std::exception& e) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++accepted_;
+      ++failed_;
+    }
+    done(Response{r.id, Status::kError, e.what()});
+    return;
+  }
+
+  const auto deadline =
+      now + (r.deadline.count() > 0 ? r.deadline : opts_.default_deadline);
+
+  Response immediate;
+  bool respond_now = false;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++accepted_;
+    if (stopping_) {
+      ++failed_;
+      immediate = Response{r.id, Status::kError, "service is shutting down"};
+      respond_now = true;
+    } else if (std::optional<std::string> hit = cache_.lookup(prepared.key)) {
+      ++cache_hits_;
+      ++completed_ok_;
+      record_sample(queue_wait_ms_, 0.0);
+      record_sample(latency_ms_, ms_between(now, Clock::now()));
+      immediate = Response{r.id, Status::kOk, *std::move(hit)};
+      respond_now = true;
+    } else if (const auto it = in_flight_.find(prepared.key);
+               it != in_flight_.end()) {
+      ++coalesced_;
+      it->second->waiters.push_back(
+          Waiter{r.id, now, deadline, std::move(done)});
+      return;
+    } else if (queue_.size() >= opts_.queue_capacity) {
+      ++shed_;
+      immediate =
+          Response{r.id, Status::kOverloaded,
+                   "queue full (capacity " +
+                       std::to_string(opts_.queue_capacity) + ")"};
+      respond_now = true;
+    } else {
+      auto flight = std::make_shared<Flight>();
+      flight->key = prepared.key;
+      flight->run = std::move(prepared.run);
+      flight->waiters.push_back(Waiter{r.id, now, deadline, std::move(done)});
+      in_flight_.emplace(prepared.key, flight);
+      queue_.push_back(std::move(flight));
+    }
+  }
+  if (respond_now) {
+    done(std::move(immediate));
+    return;
+  }
+  cv_.notify_one();
+}
+
+std::shared_future<Response> Service::submit(Request r) {
+  auto promise = std::make_shared<std::promise<Response>>();
+  std::shared_future<Response> future = promise->get_future().share();
+  submit_async(std::move(r), [promise](Response resp) {
+    promise->set_value(std::move(resp));
+  });
+  return future;
+}
+
+Response Service::evaluate(const Request& r) {
+  return submit(r).get();
+}
+
+void Service::worker_loop() {
+  for (;;) {
+    FlightPtr flight;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) {
+          return;
+        }
+        continue;
+      }
+      flight = queue_.front();
+      queue_.pop_front();
+    }
+    if (opts_.pre_solve_hook) {
+      opts_.pre_solve_hook(flight->key);
+    }
+
+    // Deadline check at solve start: expired waiters get kTimeout; if no
+    // live waiter remains the solve is skipped (shed work, not just shed
+    // queueing).
+    const auto start = Clock::now();
+    std::vector<Waiter> expired;
+    bool skip = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto& waiters = flight->waiters;
+      for (auto it = waiters.begin(); it != waiters.end();) {
+        if (it->deadline < start) {
+          expired.push_back(std::move(*it));
+          it = waiters.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      timed_out_ += expired.size();
+      for (const Waiter& w : expired) {
+        record_sample(queue_wait_ms_, ms_between(w.submitted, start));
+        record_sample(latency_ms_, ms_between(w.submitted, start));
+      }
+      if (waiters.empty()) {
+        in_flight_.erase(flight->key);
+        skip = true;
+      }
+    }
+    for (Waiter& w : expired) {
+      w.done(Response{w.id, Status::kTimeout,
+                      "deadline expired before the solve started"});
+    }
+    if (skip) {
+      continue;
+    }
+
+    std::string body;
+    bool ok = true;
+    try {
+      body = flight->run();
+    } catch (const std::exception& e) {
+      ok = false;
+      body = e.what();
+    }
+    const auto end = Clock::now();
+
+    std::vector<Waiter> waiters;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++solves_;
+      if (ok) {
+        cache_.insert(flight->key, body);
+      } else {
+        ++solve_errors_;
+      }
+      // Publishing the result and retiring the flight happen atomically
+      // with respect to submit_async's cache-or-coalesce check, so a
+      // concurrent identical request either joined this flight or will hit
+      // the cache — never a second solve.
+      in_flight_.erase(flight->key);
+      waiters = std::move(flight->waiters);
+      record_sample(solve_ms_, ms_between(start, end));
+      for (const Waiter& w : waiters) {
+        record_sample(queue_wait_ms_, ms_between(w.submitted, start));
+        record_sample(latency_ms_, ms_between(w.submitted, end));
+        if (ok) {
+          ++completed_ok_;
+        } else {
+          ++failed_;
+        }
+      }
+    }
+    const Status status = ok ? Status::kOk : Status::kError;
+    for (Waiter& w : waiters) {
+      w.done(Response{w.id, status, body});
+    }
+  }
+}
+
+ServiceMetrics Service::metrics() const {
+  ServiceMetrics m;
+  std::vector<double> queue_wait;
+  std::vector<double> solve;
+  std::vector<double> latency;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    m.accepted = accepted_;
+    m.completed_ok = completed_ok_;
+    m.failed = failed_;
+    m.shed = shed_;
+    m.timed_out = timed_out_;
+    m.coalesced = coalesced_;
+    m.cache_hits = cache_hits_;
+    m.solves = solves_;
+    m.solve_errors = solve_errors_;
+    queue_wait = queue_wait_ms_;
+    solve = solve_ms_;
+    latency = latency_ms_;
+  }
+  m.cache = cache_.stats();
+  m.queue_wait_p50_ms = percentile(queue_wait, 0.50);
+  m.queue_wait_p99_ms = percentile(std::move(queue_wait), 0.99);
+  m.solve_p50_ms = percentile(solve, 0.50);
+  m.solve_p99_ms = percentile(std::move(solve), 0.99);
+  m.latency_p50_ms = percentile(latency, 0.50);
+  m.latency_p99_ms = percentile(std::move(latency), 0.99);
+  return m;
+}
+
+}  // namespace multival::serve

@@ -1,0 +1,158 @@
+// The concurrent evaluation service: a bounded job queue drained by a
+// worker pool, fronted by the content-addressed ResultCache and a request
+// coalescer.
+//
+// Life of a solve request (submit_async):
+//   1. prepare: parse the model, derive the canonical CacheKey
+//      (malformed input completes immediately with kError);
+//   2. cache: a hit completes immediately with kOk (checked under the
+//      service lock, atomically with steps 3-4, so a result being published
+//      can never be missed *and* re-queued);
+//   3. coalesce: if the key is already queued or solving, the request joins
+//      that flight's waiter list — the solve runs exactly once and fans its
+//      result out to every waiter;
+//   4. enqueue: if the queue is full the request is *shed* immediately with
+//      kOverloaded (bounded memory, no unbounded queueing, the caller
+//      learns about saturation within its deadline instead of hanging).
+//
+// Deadlines are enforced when a flight reaches the head of the queue:
+// waiters whose deadline has passed get kTimeout, and if no live waiter
+// remains the solve is skipped entirely.  A result that completes after a
+// waiter's deadline is still delivered (it is already paid for).
+//
+// Per-request metrics (queue wait, solve time, end-to-end latency with
+// p50/p99, cache/coalescing/shed counters) are surfaced as a core::report
+// table via ServiceMetrics::to_table().
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/report.hpp"
+#include "serve/cache.hpp"
+#include "serve/protocol.hpp"
+#include "serve/solvers.hpp"
+
+namespace multival::serve {
+
+struct ServiceOptions {
+  /// Worker threads; 0 = core::parallel_threads().
+  unsigned workers = 0;
+  /// Maximum queued (not yet solving) flights before shedding.
+  std::size_t queue_capacity = 256;
+  /// Deadline applied to requests that do not carry their own.
+  std::chrono::milliseconds default_deadline{10000};
+  ResultCache::Options cache;
+  /// Test seam: invoked by a worker after dequeuing a flight, before the
+  /// deadline check and solve.  Lets tests hold a worker to build up
+  /// coalescing / saturation deterministically.  Leave empty in production.
+  std::function<void(const CacheKey&)> pre_solve_hook;
+};
+
+/// Snapshot of the service counters and latency percentiles (milliseconds).
+struct ServiceMetrics {
+  std::uint64_t accepted = 0;      ///< submissions (including failed ones)
+  std::uint64_t completed_ok = 0;
+  std::uint64_t failed = 0;        ///< malformed input or solver error
+  std::uint64_t shed = 0;          ///< rejected with kOverloaded
+  std::uint64_t timed_out = 0;
+  std::uint64_t coalesced = 0;     ///< joined an existing flight
+  std::uint64_t cache_hits = 0;
+  std::uint64_t solves = 0;        ///< solver invocations (≤ distinct keys)
+  std::uint64_t solve_errors = 0;
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  double solve_p50_ms = 0.0;
+  double solve_p99_ms = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  ResultCache::Stats cache;
+
+  [[nodiscard]] core::Table to_table() const;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceOptions opts = {});
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Completion-callback form (the primitive).  @p done is invoked exactly
+  /// once, possibly on the calling thread (cache hit / rejection) or on a
+  /// worker thread; it must not block for long and must not re-enter the
+  /// service synchronously with a lock held by the caller.
+  void submit_async(Request r, std::function<void(Response)> done);
+
+  /// Future form.
+  [[nodiscard]] std::shared_future<Response> submit(Request r);
+
+  /// Blocking convenience: submit and wait.
+  [[nodiscard]] Response evaluate(const Request& r);
+
+  [[nodiscard]] ServiceMetrics metrics() const;
+  [[nodiscard]] ResultCache& cache() { return cache_; }
+
+  /// Stops accepting new work, drains the queue (each remaining flight is
+  /// still solved) and joins the workers.  Idempotent; called by the
+  /// destructor.
+  void shutdown();
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  struct Waiter {
+    std::uint64_t id = 0;
+    Clock::time_point submitted;
+    Clock::time_point deadline;
+    std::function<void(Response)> done;
+  };
+
+  struct Flight {
+    CacheKey key;
+    std::function<std::string()> run;
+    std::vector<Waiter> waiters;
+  };
+  using FlightPtr = std::shared_ptr<Flight>;
+
+  void worker_loop();
+  void record_sample(std::vector<double>& samples, double ms);
+
+  ServiceOptions opts_;
+  ResultCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<FlightPtr> queue_;
+  std::unordered_map<CacheKey, FlightPtr, CacheKeyHash> in_flight_;
+  bool stopping_ = false;
+  bool joined_ = false;
+
+  // Counters and latency reservoirs, guarded by mu_.
+  std::uint64_t accepted_ = 0;
+  std::uint64_t completed_ok_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t shed_ = 0;
+  std::uint64_t timed_out_ = 0;
+  std::uint64_t coalesced_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t solves_ = 0;
+  std::uint64_t solve_errors_ = 0;
+  std::vector<double> queue_wait_ms_;
+  std::vector<double> solve_ms_;
+  std::vector<double> latency_ms_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace multival::serve

@@ -1,0 +1,188 @@
+#include "serve/solvers.hpp"
+
+#include <cstdio>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/flow.hpp"
+#include "imc/imc_io.hpp"
+#include "imc/scheduler.hpp"
+#include "lts/lts_io.hpp"
+#include "markov/absorption.hpp"
+#include "markov/steady.hpp"
+#include "mc/evaluator.hpp"
+#include "mc/parser.hpp"
+
+namespace multival::serve {
+
+namespace {
+
+constexpr std::string_view kKeySchema = "serve-v1";
+
+std::shared_ptr<const imc::Imc> parse_imc_payload(const Request& r) {
+  if (r.payload.empty()) {
+    throw std::runtime_error("serve: empty model payload");
+  }
+  std::istringstream is(r.payload);
+  return std::make_shared<const imc::Imc>(imc::read_aut(is));
+}
+
+double parse_time_bound(const std::string& arg) {
+  std::size_t used = 0;
+  const double t = std::stod(arg, &used);
+  if (used != arg.size() || !(t > 0.0)) {
+    throw std::runtime_error("serve: bad time bound '" + arg + "'");
+  }
+  return t;
+}
+
+std::vector<bool> absorbing_states(const markov::Ctmc& c) {
+  std::vector<bool> target(c.num_states(), false);
+  bool any = false;
+  for (markov::MState s = 0; s < c.num_states(); ++s) {
+    target[s] = c.is_absorbing(s);
+    any = any || target[s];
+  }
+  if (!any) {
+    throw std::runtime_error("serve: model has no absorbing state");
+  }
+  return target;
+}
+
+Prepared prepare_reach(const Request& r) {
+  auto m = parse_imc_payload(r);
+  // Canonicalise the time bound through its parsed value, so "0.50" and
+  // "0.5" share one cache entry.
+  const bool bounded = !r.arg.empty();
+  const double t = bounded ? parse_time_bound(r.arg) : 0.0;
+  Hasher h;
+  h.str(kKeySchema);
+  h.str("reach");
+  h.str(bounded ? format_double(t) : "");
+  hash_append(h, *m);
+  return Prepared{h.key(), [m, bounded, t]() {
+    const core::ClosedModel closed = core::close_model(*m);
+    if (bounded) {
+      const double p = markov::absorption_probability_by(closed.ctmc, t);
+      return "P[absorbed by t=" + format_double(t) +
+             "] = " + format_double(p);
+    }
+    const std::vector<bool> target = absorbing_states(closed.ctmc);
+    const std::vector<double> per_state =
+        markov::reachability_probability(closed.ctmc, target);
+    const std::vector<double> pi0 = closed.ctmc.initial_distribution();
+    double p = 0.0;
+    for (std::size_t s = 0; s < per_state.size(); ++s) {
+      p += pi0[s] * per_state[s];
+    }
+    return "P[reach absorbing] = " + format_double(p);
+  }};
+}
+
+Prepared prepare_bounds(const Request& r) {
+  auto m = parse_imc_payload(r);
+  Hasher h;
+  h.str(kKeySchema);
+  h.str("bounds");
+  hash_append(h, *m);
+  return Prepared{h.key(), [m]() {
+    std::vector<bool> absorbing(m->num_states(), false);
+    for (imc::StateId s = 0; s < m->num_states(); ++s) {
+      absorbing[s] = m->interactive(s).empty() && m->markovian(s).empty();
+    }
+    const imc::Bounds rb = imc::reachability_bounds(*m, absorbing);
+    const imc::Bounds tb = imc::absorption_time_bounds(*m);
+    return "reach in [" + format_double(rb.min) + ", " +
+           format_double(rb.max) + "]; time in [" + format_double(tb.min) +
+           ", " + format_double(tb.max) + "]";
+  }};
+}
+
+Prepared prepare_check(const Request& r) {
+  if (r.payload.empty()) {
+    throw std::runtime_error("serve: empty model payload");
+  }
+  auto l = std::make_shared<const lts::Lts>(lts::from_aut(r.payload));
+  auto f = mc::parse_formula(r.arg);
+  Hasher h;
+  h.str(kKeySchema);
+  h.str("check");
+  h.str(f->to_string());  // canonical rendering, not the raw input text
+  hash_append(h, *l);
+  return Prepared{h.key(), [l, f]() {
+    const mc::StateSet sat = mc::evaluate(*l, f);
+    const bool holds = l->num_states() > 0 && sat.contains(l->initial_state());
+    return std::string(holds ? "TRUE" : "FALSE") + " sat=" +
+           std::to_string(sat.count()) + "/" +
+           std::to_string(l->num_states());
+  }};
+}
+
+Prepared prepare_throughput(const Request& r) {
+  auto m = parse_imc_payload(r);
+  if (r.arg.empty()) {
+    throw std::runtime_error("serve: throughput needs a label glob");
+  }
+  Hasher h;
+  h.str(kKeySchema);
+  h.str("throughput");
+  h.str(r.arg);
+  hash_append(h, *m);
+  const std::string glob = r.arg;
+  return Prepared{h.key(), [m, glob]() {
+    const core::ClosedModel closed = core::close_model(*m);
+    const std::vector<double> pi = markov::steady_state(closed.ctmc);
+    const double v = markov::throughput(closed.ctmc, pi, glob);
+    return "throughput(" + glob + ") = " + format_double(v);
+  }};
+}
+
+}  // namespace
+
+bool is_solve_verb(Verb v) {
+  switch (v) {
+    case Verb::kReach:
+    case Verb::kBounds:
+    case Verb::kCheck:
+    case Verb::kThroughput:
+      return true;
+    case Verb::kPing:
+    case Verb::kStats:
+    case Verb::kShutdown:
+      return false;
+  }
+  return false;
+}
+
+Prepared prepare_request(const Request& r) {
+  switch (r.verb) {
+    case Verb::kReach:
+      return prepare_reach(r);
+    case Verb::kBounds:
+      return prepare_bounds(r);
+    case Verb::kCheck:
+      return prepare_check(r);
+    case Verb::kThroughput:
+      return prepare_throughput(r);
+    case Verb::kPing:
+    case Verb::kStats:
+    case Verb::kShutdown:
+      break;
+  }
+  throw std::runtime_error(std::string("serve: '") +
+                           std::string(to_string(r.verb)) +
+                           "' is not a solve verb");
+}
+
+std::string solve_request(const Request& r) {
+  return prepare_request(r).run();
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace multival::serve

@@ -1,0 +1,39 @@
+// Request evaluation for the service: parses the payload, derives the
+// canonical cache key and runs the corresponding solver.
+//
+// The same code path is used by the service workers and by tests that
+// assert served results are bitwise identical to direct in-process solves:
+// every solver underneath is deterministic for any thread count (see
+// core/parallel), and results are formatted with round-trip precision
+// (%.17g), so equal models always produce byte-identical bodies.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "serve/hash.hpp"
+#include "serve/protocol.hpp"
+
+namespace multival::serve {
+
+/// True for verbs that run a solver (reach/bounds/check/throughput);
+/// control verbs (ping/stats/shutdown) are handled by the service/server.
+[[nodiscard]] bool is_solve_verb(Verb v);
+
+/// A parsed, keyed request ready to run on any worker thread.
+struct Prepared {
+  CacheKey key;
+  std::function<std::string()> run;  ///< deterministic; throws on failure
+};
+
+/// Parses and keys @p r.  Throws std::runtime_error (including ParseError /
+/// ProtocolError) on malformed payloads, non-solve verbs or bad arguments.
+[[nodiscard]] Prepared prepare_request(const Request& r);
+
+/// Convenience: prepare + run in one call (the "direct in-process solve").
+[[nodiscard]] std::string solve_request(const Request& r);
+
+/// Round-trip formatting used for all numeric results ("%.17g").
+[[nodiscard]] std::string format_double(double v);
+
+}  // namespace multival::serve

@@ -1,0 +1,38 @@
+# CLI hardening checks, run by ctest as:
+#   cmake -DCLI=<path to multival_cli> -P cli_checks.cmake
+#
+# Every invocation below is malformed (unknown subcommand, unknown or
+# incomplete flag, bad numeric argument, unknown client verb).  Each one
+# must exit nonzero AND print the usage text to stderr.
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<path to multival_cli>")
+endif()
+
+function(expect_usage_failure)
+  execute_process(COMMAND ${CLI} ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    message(FATAL_ERROR
+      "multival_cli ${ARGN}: expected nonzero exit, got 0")
+  endif()
+  if(NOT err MATCHES "usage:")
+    message(FATAL_ERROR
+      "multival_cli ${ARGN}: expected usage text on stderr, got:\n${err}")
+  endif()
+endfunction()
+
+expect_usage_failure()                                    # no subcommand
+expect_usage_failure(frobnicate)                          # unknown subcommand
+expect_usage_failure(gen model.proc Entry --bogus)        # unknown flag
+expect_usage_failure(explore model.proc Entry --no-such-flag)
+expect_usage_failure(explore model.proc Entry -j banana)  # bad number
+expect_usage_failure(serve --socket)                      # flag missing value
+expect_usage_failure(serve --port 1234)                   # unknown flag
+expect_usage_failure(serve --socket /tmp/x.sock --queue many)
+expect_usage_failure(client --socket /tmp/x.sock frobnicate)
+expect_usage_failure(client --socket /tmp/x.sock ping extra-arg)
+expect_usage_failure(client --socket /tmp/x.sock check only-one-arg)
+
+message(STATUS "all CLI usage checks passed")

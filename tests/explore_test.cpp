@@ -311,6 +311,71 @@ TEST(LtsStream, RejectsMalformedInput) {
   }
 }
 
+// Corrupt-input regression suite: every reader error must name the exact
+// byte offset at which the stream became invalid.
+namespace {
+std::string stream_error(const std::string& bytes) {
+  std::istringstream is(bytes);
+  try {
+    (void)explore::read_lts_stream(is);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "(no error)";
+}
+}  // namespace
+
+TEST(LtsStream, BadMagicReportsByteOffset) {
+  EXPECT_EQ(stream_error(std::string("XXLS\x01", 5)),
+            "lts_stream: bad magic at byte 4");
+}
+
+TEST(LtsStream, TruncatedAndUnsupportedVersionReportByteOffset) {
+  EXPECT_EQ(stream_error(std::string("MVLS", 4)),
+            "lts_stream: truncated version at byte 4");
+  EXPECT_EQ(stream_error(std::string("MVLS\x07", 5)),
+            "lts_stream: unsupported version 7 at byte 5");
+}
+
+TEST(LtsStream, TruncatedVarintReportsByteOffset) {
+  // Label-definition record whose length varint has its continuation bit
+  // set on the last byte of the stream.
+  EXPECT_EQ(stream_error(std::string("MVLS\x01\x01\x80", 7)),
+            "lts_stream: truncated varint in label definition at byte 7");
+}
+
+TEST(LtsStream, MissingEndRecordReportsByteOffset) {
+  // Initial record (state 0) + state count (2) but no 0x00 end record.
+  EXPECT_EQ(stream_error(std::string("MVLS\x01\x03\x00\x04\x02", 9)),
+            "lts_stream: missing end record at byte 9");
+}
+
+TEST(LtsStream, TrailingGarbageAfterEndRecordReportsByteOffset) {
+  lts::Lts l;
+  l.add_states(2);
+  l.add_transition(0, "A", 1);
+  l.set_initial_state(0);
+  std::stringstream buf;
+  explore::write_lts_stream(buf, l);
+  const std::size_t valid_size = buf.str().size();
+  buf << "x";
+  EXPECT_EQ(stream_error(buf.str()),
+            "lts_stream: trailing garbage after end record at byte " +
+                std::to_string(valid_size));
+}
+
+TEST(LtsStream, StructuralErrorsReportByteOffsets) {
+  // Unknown record type 0x7f right after the header.
+  EXPECT_EQ(stream_error(std::string("MVLS\x01\x7f", 6)),
+            "lts_stream: unknown record type 127 at byte 6");
+  // Transition referencing a label id that was never defined.
+  EXPECT_EQ(stream_error(std::string("MVLS\x01\x02\x00\x05\x01", 9)),
+            "lts_stream: undefined label id 5 at byte 9");
+  // Two initial records.
+  EXPECT_EQ(stream_error(std::string("MVLS\x01\x03\x00\x03\x00", 9)),
+            "lts_stream: duplicate initial record at byte 8");
+}
+
 TEST(LtsStream, WriterEnforcesSingleFinish) {
   std::stringstream buf;
   explore::LtsStreamWriter w(buf);

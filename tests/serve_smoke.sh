@@ -1,0 +1,59 @@
+#!/bin/sh
+# Socket smoke test for `multival_cli serve` / `multival_cli client`:
+# start a server, solve, solve the same model again (cache hit), read the
+# stats table, then shut the server down and check it exits cleanly.
+set -eu
+
+CLI="$1"
+DIR=$(mktemp -d)
+SERVER_PID=
+cleanup() {
+  if [ -n "$SERVER_PID" ]; then
+    kill "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+SOCK="$DIR/mv.sock"
+cat > "$DIR/model.imc" <<'EOF'
+des (0, 4, 4)
+(0, "rate 1.0", 1)
+(1, "rate 2.0", 0)
+(1, "STEP; rate 1.0", 2)
+(2, "rate 4.0", 3)
+EOF
+
+"$CLI" serve --socket "$SOCK" -j 2 &
+SERVER_PID=$!
+
+i=0
+while [ ! -S "$SOCK" ]; do
+  i=$((i + 1))
+  if [ "$i" -gt 100 ]; then
+    echo "server socket never appeared" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+"$CLI" client --socket "$SOCK" ping | grep -q pong
+
+FIRST=$("$CLI" client --socket "$SOCK" reach "$DIR/model.imc")
+SECOND=$("$CLI" client --socket "$SOCK" reach "$DIR/model.imc")
+if [ "$FIRST" != "$SECOND" ]; then
+  echo "duplicate solve differs: '$FIRST' vs '$SECOND'" >&2
+  exit 1
+fi
+case "$FIRST" in
+  *"P[reach absorbing]"*) ;;
+  *) echo "unexpected solve output: $FIRST" >&2; exit 1 ;;
+esac
+
+"$CLI" client --socket "$SOCK" stats | grep -q "cache hits"
+
+"$CLI" client --socket "$SOCK" shutdown | grep -q bye
+wait "$SERVER_PID"
+SERVER_PID=
+
+echo "serve smoke test passed"

@@ -1,0 +1,499 @@
+// Tests for the src/serve subsystem: canonical content hashing, the
+// two-tier result cache, the wire protocol, the coalescing job scheduler
+// (bitwise-identical served results, backpressure, deadlines) and the
+// Unix-domain-socket front end.
+//
+// Every suite here is named Serve* so the CI thread-sanitizer job can run
+// the whole subsystem with --gtest_filter='Serve*'.
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+
+#include <chrono>
+#include <fstream>
+#include <semaphore>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "compose/pipeline.hpp"
+#include "lts/lts_io.hpp"
+#include "serve/cache.hpp"
+#include "serve/hash.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "serve/solvers.hpp"
+
+namespace {
+
+using namespace multival;
+
+// A deterministic IMC (one closed CTMC): 0 -> 1 -> {0 or absorbing 2}.
+constexpr const char* kCtmcModel =
+    "des (0, 4, 4)\n"
+    "(0, \"rate 1.0\", 1)\n"
+    "(1, \"rate 2.0\", 0)\n"
+    "(1, \"STEP; rate 1.0\", 2)\n"
+    "(2, \"rate 4.0\", 3)\n";
+
+// A nondeterministic IMC: an interactive choice between a slow and a fast
+// path to the absorbing state 3.
+constexpr const char* kNondetModel =
+    "des (0, 4, 4)\n"
+    "(0, \"a\", 1)\n"
+    "(0, \"b\", 2)\n"
+    "(1, \"rate 1.0\", 3)\n"
+    "(2, \"rate 2.0\", 3)\n";
+
+// A small LTS with a reachable deadlock (state 2).
+constexpr const char* kLtsModel =
+    "des (0, 3, 3)\n"
+    "(0, \"PUSH\", 1)\n"
+    "(1, \"POP\", 0)\n"
+    "(1, \"DROP\", 2)\n";
+
+serve::Request make_request(serve::Verb verb, std::string payload,
+                            std::string arg = "", std::uint64_t id = 1) {
+  serve::Request r;
+  r.id = id;
+  r.verb = verb;
+  r.arg = std::move(arg);
+  r.payload = std::move(payload);
+  return r;
+}
+
+// --- hashing -------------------------------------------------------------
+
+TEST(ServeHash, IndependentOfLabelInterningOrder) {
+  lts::Lts a;
+  a.add_states(2);
+  a.set_initial_state(0);
+  a.add_transition(0, "X", 1);
+
+  lts::Lts b;
+  b.add_states(2);
+  b.set_initial_state(0);
+  b.actions().intern("UNUSED");  // shifts every later ActionId
+  b.add_transition(0, "X", 1);
+
+  serve::Hasher ha;
+  serve::Hasher hb;
+  serve::hash_append(ha, a);
+  serve::hash_append(hb, b);
+  EXPECT_EQ(ha.key(), hb.key());
+}
+
+TEST(ServeHash, DistinguishesModelsAndFieldBoundaries) {
+  lts::Lts a;
+  a.add_states(2);
+  a.set_initial_state(0);
+  a.add_transition(0, "X", 1);
+
+  lts::Lts b = a;
+  b.add_transition(0, "X", 0);
+
+  serve::Hasher ha;
+  serve::Hasher hb;
+  serve::hash_append(ha, a);
+  serve::hash_append(hb, b);
+  EXPECT_NE(ha.key(), hb.key());
+
+  serve::Hasher h1;
+  h1.str("ab");
+  h1.str("c");
+  serve::Hasher h2;
+  h2.str("a");
+  h2.str("bc");
+  EXPECT_NE(h1.key(), h2.key());
+}
+
+TEST(ServeHash, HexIsStable) {
+  serve::Hasher h;
+  h.str("hello");
+  const serve::CacheKey k = h.key();
+  EXPECT_EQ(k.hex().size(), 32u);
+  EXPECT_EQ(k.hex(), h.key().hex());
+}
+
+// --- result cache --------------------------------------------------------
+
+TEST(ServeCache, LruEvictsLeastRecentlyUsed) {
+  serve::ResultCache::Options opts;
+  opts.capacity_bytes = 3 * (128 + 8);  // three entries of 8 payload bytes
+  serve::ResultCache cache(opts);
+  const auto key = [](int i) {
+    serve::Hasher h;
+    h.u64(static_cast<std::uint64_t>(i));
+    return h.key();
+  };
+  cache.insert(key(1), "11111111");
+  cache.insert(key(2), "22222222");
+  cache.insert(key(3), "33333333");
+  ASSERT_TRUE(cache.lookup(key(1)).has_value());  // 1 is now most recent
+  cache.insert(key(4), "44444444");               // evicts 2
+  EXPECT_FALSE(cache.lookup(key(2)).has_value());
+  EXPECT_TRUE(cache.lookup(key(1)).has_value());
+  EXPECT_TRUE(cache.lookup(key(4)).has_value());
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ServeCache, DiskTierSurvivesANewCacheInstance) {
+  const std::string dir = testing::TempDir() + "serve_cache_disk";
+  ::mkdir(dir.c_str(), 0755);
+  serve::ResultCache::Options opts;
+  opts.disk_dir = dir;
+  serve::Hasher h;
+  h.str("disk-key");
+  const serve::CacheKey key = h.key();
+  {
+    serve::ResultCache cache(opts);
+    cache.insert(key, "persisted payload\nwith newline");
+    EXPECT_EQ(cache.stats().disk_writes, 1u);
+  }
+  serve::ResultCache fresh(opts);
+  const auto hit = fresh.lookup(key);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "persisted payload\nwith newline");
+  EXPECT_EQ(fresh.stats().disk_hits, 1u);
+  // Promoted into memory: a second lookup does not touch the disk tier.
+  ASSERT_TRUE(fresh.lookup(key).has_value());
+  EXPECT_EQ(fresh.stats().disk_hits, 1u);
+}
+
+TEST(ServeCache, CorruptDiskEntryIsAMissNotAnError) {
+  const std::string dir = testing::TempDir() + "serve_cache_corrupt";
+  ::mkdir(dir.c_str(), 0755);
+  serve::ResultCache::Options opts;
+  opts.disk_dir = dir;
+  serve::Hasher h;
+  h.str("corrupt-key");
+  const serve::CacheKey key = h.key();
+  {
+    std::ofstream os(dir + "/" + key.hex() + ".mvcr", std::ios::binary);
+    os << "MVCR\x01 this is not a valid record stream";
+  }
+  serve::ResultCache cache(opts);
+  EXPECT_FALSE(cache.lookup(key).has_value());
+  EXPECT_EQ(cache.stats().disk_errors, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+// --- protocol ------------------------------------------------------------
+
+TEST(ServeProtocol, RequestRoundTripsWithEmbeddedSeparators) {
+  serve::Request r = make_request(serve::Verb::kCheck,
+                                  "line1\nline2\twith tab\\backslash",
+                                  "nu X. (<any> tt && [any] X)", 42);
+  r.deadline = std::chrono::milliseconds(1500);
+  const std::string line = serve::encode_request(r);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  const serve::Request back = serve::decode_request(line);
+  EXPECT_EQ(back.id, 42u);
+  EXPECT_EQ(back.verb, serve::Verb::kCheck);
+  EXPECT_EQ(back.deadline.count(), 1500);
+  EXPECT_EQ(back.arg, r.arg);
+  EXPECT_EQ(back.payload, r.payload);
+}
+
+TEST(ServeProtocol, ResponseRoundTrips) {
+  const serve::Response r{7, serve::Status::kOverloaded, "queue full"};
+  const serve::Response back = serve::decode_response(serve::encode_response(r));
+  EXPECT_EQ(back.id, 7u);
+  EXPECT_EQ(back.status, serve::Status::kOverloaded);
+  EXPECT_EQ(back.body, "queue full");
+}
+
+TEST(ServeProtocol, RejectsMalformedLines) {
+  EXPECT_THROW((void)serve::decode_request("not a protocol line"),
+               serve::ProtocolError);
+  EXPECT_THROW((void)serve::decode_request("mv1\tx\tping\t0\t\t"),
+               serve::ProtocolError);
+  EXPECT_THROW((void)serve::decode_request("mv1\t1\tfrobnicate\t0\t\t"),
+               serve::ProtocolError);
+  EXPECT_THROW((void)serve::decode_response("mv1\t1\tok"),
+               serve::ProtocolError);
+  EXPECT_THROW((void)serve::unescape_field("dangling\\"),
+               serve::ProtocolError);
+}
+
+// --- service: served == direct, bitwise ----------------------------------
+
+void expect_served_matches_direct(const serve::Request& request) {
+  const std::string direct = serve::solve_request(request);
+  for (unsigned workers : {1u, 4u}) {
+    serve::ServiceOptions opts;
+    opts.workers = workers;
+    serve::Service service(opts);
+    const serve::Response response = service.evaluate(request);
+    EXPECT_EQ(response.status, serve::Status::kOk) << response.body;
+    EXPECT_EQ(response.body, direct) << "workers=" << workers;
+  }
+}
+
+TEST(ServeService, CtmcReachabilityMatchesDirectSolveBitwise) {
+  expect_served_matches_direct(make_request(serve::Verb::kReach, kCtmcModel));
+  expect_served_matches_direct(
+      make_request(serve::Verb::kReach, kCtmcModel, "0.5"));
+}
+
+TEST(ServeService, ImcIntervalBoundsMatchDirectSolveBitwise) {
+  expect_served_matches_direct(
+      make_request(serve::Verb::kBounds, kNondetModel));
+}
+
+TEST(ServeService, McFormulaMatchesDirectSolveBitwise) {
+  expect_served_matches_direct(make_request(
+      serve::Verb::kCheck, kLtsModel, "nu X. (<any> tt && [any] X)"));
+  expect_served_matches_direct(
+      make_request(serve::Verb::kCheck, kLtsModel, "<'PUSH'> tt"));
+}
+
+TEST(ServeService, ThroughputMatchesDirectSolveBitwise) {
+  // Ergodic variant (no absorbing state) so the steady state is nontrivial.
+  const std::string model =
+      "des (0, 3, 3)\n"
+      "(0, \"rate 1.0\", 1)\n"
+      "(1, \"STEP; rate 2.0\", 2)\n"
+      "(2, \"rate 3.0\", 0)\n";
+  expect_served_matches_direct(
+      make_request(serve::Verb::kThroughput, model, "STEP*"));
+}
+
+// --- service: cache, coalescing, backpressure, deadlines -----------------
+
+TEST(ServeService, SecondIdenticalRequestHitsTheCache) {
+  serve::ServiceOptions opts;
+  opts.workers = 2;
+  serve::Service service(opts);
+  const serve::Request r = make_request(serve::Verb::kReach, kCtmcModel);
+  const serve::Response first = service.evaluate(r);
+  const serve::Response second = service.evaluate(r);
+  ASSERT_EQ(first.status, serve::Status::kOk) << first.body;
+  EXPECT_EQ(first.body, second.body);
+  const serve::ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.solves, 1u);
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.completed_ok, 2u);
+}
+
+TEST(ServeService, EquivalentAutRenderingsShareOneCacheEntry) {
+  serve::ServiceOptions opts;
+  opts.workers = 1;
+  serve::Service service(opts);
+  // Same model, different textual spacing: the key hashes the parsed IMC.
+  const std::string variant =
+      "des (0, 4, 4)\n"
+      "(0,\"rate 1.0\",1)\n"
+      "(1,\"rate 2.0\",0)\n"
+      "(1,\"STEP; rate 1.0\",2)\n"
+      "(2,\"rate 4.0\",3)\n";
+  (void)service.evaluate(make_request(serve::Verb::kReach, kCtmcModel));
+  (void)service.evaluate(make_request(serve::Verb::kReach, variant));
+  EXPECT_EQ(service.metrics().solves, 1u);
+  EXPECT_EQ(service.metrics().cache_hits, 1u);
+}
+
+TEST(ServeService, ConcurrentIdenticalRequestsCoalesceIntoOneSolve) {
+  constexpr int kDuplicates = 8;
+  std::counting_semaphore<kDuplicates + 1> gate(0);
+  serve::ServiceOptions opts;
+  opts.workers = 1;
+  opts.pre_solve_hook = [&gate](const serve::CacheKey&) { gate.acquire(); };
+  serve::Service service(opts);
+
+  const serve::Request r = make_request(serve::Verb::kReach, kCtmcModel);
+  std::vector<std::shared_future<serve::Response>> futures;
+  futures.reserve(kDuplicates);
+  for (int i = 0; i < kDuplicates; ++i) {
+    futures.push_back(service.submit(r));
+  }
+  gate.release();  // let the single worker run the one coalesced flight
+  std::vector<std::string> bodies;
+  for (auto& f : futures) {
+    const serve::Response resp = f.get();
+    EXPECT_EQ(resp.status, serve::Status::kOk) << resp.body;
+    bodies.push_back(resp.body);
+  }
+  for (const std::string& body : bodies) {
+    EXPECT_EQ(body, bodies.front());
+  }
+  const serve::ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.solves, 1u);
+  EXPECT_EQ(m.coalesced, static_cast<std::uint64_t>(kDuplicates - 1));
+  EXPECT_EQ(m.cache_hits, 0u);
+}
+
+// Saturation stress: a single blocked worker, a two-slot queue and a flood
+// of distinct requests.  Excess requests must be shed immediately with an
+// explicit kOverloaded status (never queued unboundedly, never deadlocked).
+// This test runs under TSan in CI.
+TEST(ServeService, QueueSaturationShedsWithExplicitOverloadedStatus) {
+  constexpr int kFlood = 12;
+  std::counting_semaphore<kFlood + 1> gate(0);
+  serve::ServiceOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  opts.pre_solve_hook = [&gate](const serve::CacheKey&) { gate.acquire(); };
+  serve::Service service(opts);
+
+  std::vector<std::shared_future<serve::Response>> futures;
+  for (int i = 0; i < kFlood; ++i) {
+    // Distinct models (different rates) -> distinct keys -> no coalescing.
+    const std::string model = "des (0, 1, 2)\n(0, \"rate " +
+                              std::to_string(i + 1) + ".0\", 1)\n";
+    futures.push_back(
+        service.submit(make_request(serve::Verb::kReach, model)));
+  }
+  gate.release(kFlood);
+  int ok = 0;
+  int overloaded = 0;
+  for (auto& f : futures) {
+    const serve::Response resp = f.get();  // must not deadlock
+    if (resp.status == serve::Status::kOk) {
+      ++ok;
+    } else {
+      ASSERT_EQ(resp.status, serve::Status::kOverloaded) << resp.body;
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, kFlood);
+  EXPECT_GE(overloaded, 1);
+  const serve::ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.shed, static_cast<std::uint64_t>(overloaded));
+  EXPECT_EQ(m.solves, static_cast<std::uint64_t>(ok));
+}
+
+TEST(ServeService, QueuedRequestPastItsDeadlineTimesOut) {
+  std::counting_semaphore<4> gate(0);
+  serve::ServiceOptions opts;
+  opts.workers = 1;
+  opts.pre_solve_hook = [&gate](const serve::CacheKey&) { gate.acquire(); };
+  serve::Service service(opts);
+
+  auto blocker = service.submit(make_request(serve::Verb::kReach, kCtmcModel));
+  serve::Request urgent = make_request(serve::Verb::kBounds, kNondetModel);
+  urgent.deadline = std::chrono::milliseconds(1);
+  auto doomed = service.submit(urgent);
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  gate.release(2);
+  EXPECT_EQ(blocker.get().status, serve::Status::kOk);
+  const serve::Response resp = doomed.get();
+  EXPECT_EQ(resp.status, serve::Status::kTimeout) << resp.body;
+  EXPECT_EQ(service.metrics().timed_out, 1u);
+}
+
+TEST(ServeService, MalformedPayloadFailsWithoutTouchingTheQueue) {
+  serve::Service service;
+  const serve::Response resp =
+      service.evaluate(make_request(serve::Verb::kReach, "des (not aut"));
+  EXPECT_EQ(resp.status, serve::Status::kError);
+  const serve::ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.failed, 1u);
+  EXPECT_EQ(m.solves, 0u);
+}
+
+TEST(ServeService, ControlVerbsAreHandledInline) {
+  serve::Service service;
+  EXPECT_EQ(service.evaluate(make_request(serve::Verb::kPing, "")).body,
+            "pong");
+  const serve::Response stats =
+      service.evaluate(make_request(serve::Verb::kStats, ""));
+  EXPECT_EQ(stats.status, serve::Status::kOk);
+  EXPECT_NE(stats.body.find("serve metrics"), std::string::npos);
+  EXPECT_EQ(service.evaluate(make_request(serve::Verb::kShutdown, "")).status,
+            serve::Status::kError);
+}
+
+// --- pipeline minimisation cache -----------------------------------------
+
+lts::Lts chain_with_twin_tail(int tag) {
+  // 0 -A-> 1 -B-> 2 and 0 -A-> 3 -B-> 4: states {1,3} and {2,4} are
+  // bisimilar, so branching minimisation shrinks 5 -> 3 states.
+  lts::Lts l;
+  l.add_states(5);
+  l.set_initial_state(0);
+  const std::string a = "A" + std::to_string(tag);
+  l.add_transition(0, a, 1);
+  l.add_transition(0, a, 3);
+  l.add_transition(1, "B", 2);
+  l.add_transition(3, "B", 4);
+  return l;
+}
+
+TEST(ServePipelineCache, OnlyChangedSubtreesAreReminimised) {
+  serve::PipelineCache cache;
+  const auto tree = [](int left_tag, int right_tag) {
+    return compose::compose2(
+        compose::minimize_here(
+            compose::leaf(chain_with_twin_tail(left_tag), "left")),
+        {},
+        compose::minimize_here(
+            compose::leaf(chain_with_twin_tail(right_tag), "right")));
+  };
+
+  compose::EvalStats s1;
+  const lts::Lts first = compose::evaluate(tree(0, 1), true, &s1, &cache);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  // Re-evaluating with one changed leaf re-minimises only that subtree.
+  compose::EvalStats s2;
+  const lts::Lts second = compose::evaluate(tree(0, 2), true, &s2, &cache);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 3u);
+  bool saw_cached_step = false;
+  for (const compose::StepStat& step : s2.steps) {
+    saw_cached_step =
+        saw_cached_step ||
+        step.description.find("(cached)") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_cached_step);
+
+  // Cached evaluation must be indistinguishable from the uncached one.
+  const lts::Lts direct = compose::evaluate(tree(0, 2), true);
+  EXPECT_EQ(lts::to_aut(second), lts::to_aut(direct));
+  EXPECT_EQ(lts::to_aut(first), lts::to_aut(compose::evaluate(tree(0, 1), true)));
+}
+
+// --- socket front end ----------------------------------------------------
+
+TEST(ServeSocket, EndToEndSolveDuplicateStatsShutdown) {
+  const std::string socket_path =
+      "/tmp/mvserve_test_" + std::to_string(::getpid()) + ".sock";
+  serve::ServerOptions opts;
+  opts.socket_path = socket_path;
+  opts.service.workers = 2;
+  serve::Server server(opts);
+  std::thread server_thread([&server] { server.run(); });
+
+  {
+    serve::Client client(socket_path);
+    EXPECT_EQ(client.call(make_request(serve::Verb::kPing, "")).body, "pong");
+
+    const serve::Request solve =
+        make_request(serve::Verb::kReach, kCtmcModel, "", 11);
+    const serve::Response first = client.call(solve);
+    ASSERT_EQ(first.status, serve::Status::kOk) << first.body;
+    EXPECT_EQ(first.id, 11u);
+    EXPECT_EQ(first.body, serve::solve_request(solve));
+
+    const serve::Response dup = client.call(solve);
+    EXPECT_EQ(dup.body, first.body);
+
+    const serve::Response stats =
+        client.call(make_request(serve::Verb::kStats, ""));
+    EXPECT_NE(stats.body.find("cache hits"), std::string::npos);
+
+    const serve::Response bye =
+        client.call(make_request(serve::Verb::kShutdown, ""));
+    EXPECT_EQ(bye.status, serve::Status::kOk);
+  }
+  server_thread.join();
+  const serve::ServiceMetrics m = server.service().metrics();
+  EXPECT_EQ(m.solves, 1u);
+  EXPECT_EQ(m.cache_hits, 1u);
+}
+
+}  // namespace
