@@ -1,0 +1,82 @@
+// Micro-benchmark: static lint cost versus the state spaces it gates.
+//
+// The analyzer is polynomial in the *syntax*: the n-cell family below grows
+// linearly in text while its interleaved state space grows as 10^n, so the
+// pre-flight lint stays in the microsecond range on models whose
+// exploration cost grows without bound.  The states_generated counter is
+// exported to make the no-exploration contract visible in the output.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "analyze/analyze.hpp"
+#include "fame/coherence.hpp"
+#include "noc/mesh.hpp"
+#include "proc/parser.hpp"
+#include "proc/process.hpp"
+
+namespace {
+
+using namespace multival;
+
+// n interleaved ten-state counters synchronised with a stuck GO partner:
+// ~10^n product states, one MV003 structural deadlock, linear syntax.
+std::string cells_model(int n) {
+  std::string text;
+  std::string left;
+  for (int i = 0; i < n; ++i) {
+    const std::string id = std::to_string(i);
+    text += "process Cell" + id + " (v) :=\n";
+    text += "    [v < 9] -> INC" + id + " ; Cell" + id + " (v + 1)\n";
+    text += " [] [v > 0] -> DEC" + id + " ; Cell" + id + " (v - 1)\n";
+    text += "endproc\n";
+    const std::string cell = "Cell" + id + " (0)";
+    left = i == 0 ? cell : "(" + left + " ||| " + cell + ")";
+  }
+  text += "process Blocked := GO ; stop endproc\n";
+  text += "process System := " + left + " |[GO]| Blocked endproc\n";
+  return text;
+}
+
+void BM_LintCellsFamily(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const proc::Program p = proc::parse_program(cells_model(n));
+  analyze::AnalysisStats stats;
+  for (auto _ : state) {
+    const analyze::Analysis a = analyze::lint_program(p);
+    if (a.clean() || a.stats.states_generated != 0) {
+      throw std::logic_error("lint contract violated");
+    }
+    stats = a.stats;
+    benchmark::DoNotOptimize(stats);
+  }
+  state.counters["product_states"] = benchmark::Counter(std::pow(10.0, n));
+  state.counters["terms"] = benchmark::Counter(
+      static_cast<double>(stats.terms_visited));
+  state.counters["states_generated"] = benchmark::Counter(
+      static_cast<double>(stats.states_generated));
+}
+BENCHMARK(BM_LintCellsFamily)->Arg(3)->Arg(7)->Arg(12);
+
+void BM_LintFameCoherence(benchmark::State& state) {
+  const proc::Program p =
+      fame::coherence_system_program(fame::Protocol::kMesi);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze::lint_program(p));
+  }
+}
+BENCHMARK(BM_LintFameCoherence);
+
+void BM_LintNocSinglePacket(benchmark::State& state) {
+  const proc::Program p = noc::single_packet_program(0, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analyze::lint_program(p));
+  }
+}
+BENCHMARK(BM_LintNocSinglePacket);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -10,6 +10,11 @@
 //   multival_cli gen   <model.proc> <EntryProcess> [args...] [-o out.aut]
 //   multival_cli explore <model.proc> <EntryProcess> [args...]
 //       [-j N] [--dfs] [--fp [bits]] [-o out.aut|out.mvl]
+//   multival_cli lint  <model.proc> [EntryProcess [args...]]
+//                      [--json] [--strict]
+//   multival_cli lint  --imc <file.imc> | --builtin <name|all>
+//                      [--json] [--strict]
+//   multival_cli lint  --fixed-delay D [--error-bound EPS]   (MV020 advisory)
 //   multival_cli solve <file.imc>       (aut with "rate r" labels)
 //   multival_cli check-file <file.aut> <props.mcl>
 //       props.mcl: one "name: formula" per line; '#' comments
@@ -22,13 +27,17 @@
 //   multival_cli client --socket <path> check <file.aut> '<formula>'
 //   multival_cli client --socket <path> throughput <file.imc> <label-glob>
 #include <charconv>
+#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <set>
 #include <string>
 
+#include "analyze/analyze.hpp"
 #include "bisim/equivalence.hpp"
 #include "bisim/trace.hpp"
+#include "fame/coherence.hpp"
+#include "fame/coherence_n.hpp"
 #include "lts/analysis.hpp"
 #include "lts/lts_io.hpp"
 #include "mc/diagnostic.hpp"
@@ -39,6 +48,8 @@
 #include "imc/scheduler.hpp"
 #include "markov/absorption.hpp"
 #include "markov/steady.hpp"
+#include "noc/mesh.hpp"
+#include "xstream/queue_model.hpp"
 #include "core/report.hpp"
 #include "explore/engine.hpp"
 #include "explore/lts_stream.hpp"
@@ -370,6 +381,193 @@ int cmd_solve(const std::string& path, bool stats) {
   return 0;
 }
 
+double parse_double(const std::string& text, const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size() || !std::isfinite(v)) {
+      throw std::invalid_argument(text);
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError(std::string("bad ") + what + ": '" + text + "'");
+  }
+}
+
+/// The shipped case-study generators, lintable by name so CI can gate every
+/// model the repo builds programmatically (the .proc examples are covered by
+/// the file mode).
+struct BuiltinModel {
+  std::string entry;
+  proc::Program program;
+};
+
+const std::vector<std::string>& builtin_names() {
+  static const std::vector<std::string> names = {
+      "fame-msi",        "fame-mesi",           "fame-msi-3",
+      "noc-mesh",        "noc-single-packet",   "noc-stream",
+      "xstream",         "xstream-lost-credit", "xstream-eager-credit",
+  };
+  return names;
+}
+
+BuiltinModel builtin_model(const std::string& name) {
+  if (name == "fame-msi") {
+    return {"System", fame::coherence_system_program(fame::Protocol::kMsi)};
+  }
+  if (name == "fame-mesi") {
+    return {"System", fame::coherence_system_program(fame::Protocol::kMesi)};
+  }
+  if (name == "fame-msi-3") {
+    return {"SystemN",
+            fame::coherence_system_n_program(fame::Protocol::kMsi, 3)};
+  }
+  if (name == "noc-mesh") {
+    return {"Mesh", noc::mesh_program()};
+  }
+  if (name == "noc-single-packet") {
+    return {"Scenario", noc::single_packet_program(0, 3)};
+  }
+  if (name == "noc-stream") {
+    return {"Scenario", noc::stream_program({noc::Flow{0, 3}})};
+  }
+  xstream::QueueConfig cfg;
+  if (name == "xstream") {
+    return {"VirtualQueue", xstream::virtual_queue_program(cfg)};
+  }
+  if (name == "xstream-lost-credit") {
+    cfg.variant = xstream::QueueVariant::kLostCredit;
+    return {"VirtualQueue", xstream::virtual_queue_program(cfg)};
+  }
+  if (name == "xstream-eager-credit") {
+    cfg.variant = xstream::QueueVariant::kEagerCredit;
+    return {"VirtualQueue", xstream::virtual_queue_program(cfg)};
+  }
+  throw UsageError("lint: unknown builtin '" + name + "' (try 'all')");
+}
+
+int cmd_lint(int argc, char** argv) {
+  // lint <model.proc> [Entry [int args...]] [--json] [--strict]
+  // lint --imc <file.imc> | --builtin <name|all> [--json] [--strict]
+  // lint --fixed-delay D [--error-bound EPS]   (combinable with any mode)
+  std::string model_path;
+  std::string imc_path;
+  std::string builtin;
+  std::string entry;
+  std::vector<proc::ExprPtr> entry_args;
+  bool json = false;
+  bool strict = false;
+  bool have_fixed_delay = false;
+  double fixed_delay = 0.0;
+  double error_bound = 0.05;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--strict") {
+      strict = true;
+    } else if (a == "--imc" && i + 1 < argc) {
+      imc_path = argv[++i];
+    } else if (a == "--builtin" && i + 1 < argc) {
+      builtin = argv[++i];
+    } else if (a == "--fixed-delay" && i + 1 < argc) {
+      have_fixed_delay = true;
+      fixed_delay = parse_double(argv[++i], "fixed delay");
+    } else if (a == "--error-bound" && i + 1 < argc) {
+      error_bound = parse_double(argv[++i], "error bound");
+    } else if (!a.empty() && a[0] == '-') {
+      throw UsageError("lint: unknown flag " + a);
+    } else if (model_path.empty()) {
+      model_path = a;
+    } else if (entry.empty()) {
+      entry = a;
+    } else {
+      entry_args.push_back(proc::lit(
+          static_cast<proc::Value>(parse_long(a, "lint process argument"))));
+    }
+  }
+  const int modes = static_cast<int>(!model_path.empty()) +
+                    static_cast<int>(!imc_path.empty()) +
+                    static_cast<int>(!builtin.empty());
+  if (modes > 1) {
+    throw UsageError(
+        "lint: give exactly one of <model.proc>, --imc or --builtin");
+  }
+  if (modes == 0 && !have_fixed_delay) {
+    throw UsageError("lint: nothing to lint");
+  }
+  if (fixed_delay <= 0.0 && have_fixed_delay) {
+    throw UsageError("lint: --fixed-delay must be > 0");
+  }
+  if (!(error_bound > 0.0) || !(error_bound < 1.0)) {
+    throw UsageError("lint: --error-bound must be in (0, 1)");
+  }
+
+  std::size_t errors = 0;
+  std::size_t findings = 0;
+  std::vector<core::Diagnostic> collected;  // for --json
+  const auto report = [&](const std::string& name,
+                          const analyze::Analysis& a) {
+    errors += a.count(core::Severity::kError);
+    findings += a.diagnostics.size();
+    if (json) {
+      collected.insert(collected.end(), a.diagnostics.begin(),
+                       a.diagnostics.end());
+    } else {
+      std::cout << name << ": " << a.summary() << "\n"
+                << core::render_text(a.diagnostics);
+    }
+  };
+  const auto report_one = [&](const std::string& name, core::Diagnostic d) {
+    analyze::Analysis a;
+    a.diagnostics.push_back(std::move(d));
+    report(name, a);
+  };
+
+  if (!model_path.empty()) {
+    const std::string text = read_file(model_path);
+    try {
+      const proc::Program program = proc::parse_program(text);
+      const proc::TermPtr root =
+          entry.empty() ? nullptr : proc::call(entry, std::move(entry_args));
+      report(model_path, analyze::lint_program(program, root));
+    } catch (const proc::ProcParseError& e) {
+      // Parse failures are lint findings (MV010), not tool crashes.
+      report_one(model_path, e.diagnostic());
+    }
+  } else if (!imc_path.empty()) {
+    std::ifstream in(imc_path);
+    if (!in) {
+      throw std::runtime_error("cannot open " + imc_path);
+    }
+    try {
+      const imc::Imc m = imc::read_aut(in);
+      report(imc_path, analyze::lint_imc(m));
+    } catch (const std::exception& e) {
+      report_one(imc_path, core::Diagnostic{
+                               "MV010", core::Severity::kError,
+                               std::string("malformed .aut model: ") + e.what(),
+                               imc_path, 0, 0, ""});
+    }
+  } else if (!builtin.empty()) {
+    const std::vector<std::string> targets =
+        builtin == "all" ? builtin_names() : std::vector<std::string>{builtin};
+    for (const std::string& name : targets) {
+      BuiltinModel m = builtin_model(name);
+      report(name, analyze::lint_program(m.program, proc::call(m.entry)));
+    }
+  }
+  if (have_fixed_delay) {
+    report_one("fixed-delay " + core::fmt(fixed_delay, 6),
+               analyze::fixed_delay_advisory(fixed_delay, error_bound));
+  }
+
+  if (json) {
+    std::cout << core::render_json(collected) << "\n";
+  }
+  return errors > 0 || (strict && findings > 0) ? 1 : 0;
+}
+
 int cmd_dot(const std::string& in, const std::string& out) {
   const lts::Lts l = load(in);
   if (out.empty()) {
@@ -488,7 +686,13 @@ int cmd_client(int argc, char** argv) {
   }
   std::cerr << serve::to_string(response.status) << ": " << response.body
             << "\n";
-  return response.status == serve::Status::kOverloaded ? 3 : 2;
+  if (response.status == serve::Status::kOverloaded) {
+    return 3;  // transient: retrying later can succeed
+  }
+  if (response.status == serve::Status::kInvalid) {
+    return 4;  // permanent: the model itself is ill-formed
+  }
+  return 2;
 }
 
 int usage() {
@@ -505,6 +709,11 @@ int usage() {
          "  multival_cli gen   <model.proc> <Entry> [args...] [-o out.aut]\n"
          "  multival_cli explore <model.proc> <Entry> [args...] [-j N] "
          "[--dfs] [--fp [bits]] [-o out.aut|out.mvl]\n"
+         "  multival_cli lint  <model.proc> [Entry [args...]] [--json] "
+         "[--strict]\n"
+         "  multival_cli lint  --imc <file.imc> | --builtin <name|all> "
+         "[--json] [--strict]\n"
+         "  multival_cli lint  --fixed-delay D [--error-bound EPS]\n"
          "  multival_cli solve <file.imc> [--stats]\n"
          "  multival_cli check-file <file.aut> <props.mcl>\n"
          "  multival_cli dot   <file.aut> [out.dot]\n"
@@ -549,6 +758,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "explore" && argc >= 4) {
       return cmd_explore(argc, argv);
+    }
+    if (cmd == "lint" && argc >= 3) {
+      return cmd_lint(argc, argv);
     }
     if (cmd == "solve" && (argc == 3 || argc == 4)) {
       const bool stats = argc == 4 && std::string(argv[3]) == "--stats";

@@ -161,7 +161,7 @@ void Table::print(std::ostream& os) const {
     os << '\n';
   };
   print_row(headers_);
-  std::size_t total = headers_.size() > 0 ? 2 * (headers_.size() - 1) : 0;
+  std::size_t total = headers_.empty() ? 0 : 2 * (headers_.size() - 1);
   for (const std::size_t w : width) {
     total += w;
   }

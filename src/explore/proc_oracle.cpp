@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analyze/analyze.hpp"
 #include "explore/oracle.hpp"
 
 namespace multival::explore {
@@ -47,6 +48,11 @@ OraclePtr term_oracle(std::shared_ptr<const proc::Program> program,
   if (program == nullptr || root == nullptr) {
     throw std::invalid_argument("term_oracle: null program or root");
   }
+  // Pre-flight lint: reject ill-formed models (undefined references, arity
+  // mismatches, structural deadlocks, ...) in syntax-polynomial time before
+  // committing to a potentially exponential exploration.  Throws
+  // analyze::ModelError carrying the structured diagnostics.
+  analyze::require_well_formed(*program, root);
   return std::make_unique<ProcOracle>(std::move(program), std::move(root),
                                       options);
 }

@@ -126,11 +126,49 @@ class Lexer {
     }
   }
 
+  /// The token starting at the current position, for "near '...'" context:
+  /// an identifier/number, a run of punctuation, or end of input.
+  [[nodiscard]] std::string offending_token(std::size_t from) const {
+    std::size_t p = from;
+    while (p < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[p]))) {
+      ++p;
+    }
+    if (p >= text_.size()) {
+      return "end of input";
+    }
+    std::size_t end = p;
+    if (is_ident_start(text_[end]) ||
+        std::isdigit(static_cast<unsigned char>(text_[end]))) {
+      while (end < text_.size() && is_ident_char(text_[end])) {
+        ++end;
+      }
+    } else {
+      while (end < text_.size() && end - p < 3 &&
+             !std::isspace(static_cast<unsigned char>(text_[end])) &&
+             !is_ident_char(text_[end])) {
+        ++end;
+      }
+    }
+    return "'" + std::string(text_.substr(p, end - p)) + "'";
+  }
+
+  /// Position of the next token; pair with fail_at() to anchor an error to
+  /// a construct's start rather than wherever parsing stopped.
+  [[nodiscard]] std::size_t mark() {
+    skip_ws();
+    return pos_;
+  }
+
   [[noreturn]] void fail(const std::string& what) const {
-    // Compute line/column for a readable message.
+    fail_at(pos_, what);
+  }
+
+  [[noreturn]] void fail_at(std::size_t pos, const std::string& what) const {
+    // Compute line/column for a readable, clickable position.
     std::size_t line = 1;
     std::size_t col = 1;
-    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+    for (std::size_t i = 0; i < pos && i < text_.size(); ++i) {
       if (text_[i] == '\n') {
         ++line;
         col = 1;
@@ -138,8 +176,9 @@ class Lexer {
         ++col;
       }
     }
-    throw ProcParseError("parse error at line " + std::to_string(line) +
-                         ", column " + std::to_string(col) + ": " + what);
+    throw ProcParseError(core::Diagnostic{
+        "MV010", core::Severity::kError,
+        what + " near " + offending_token(pos), {}, line, col, {}});
   }
 
  private:
@@ -156,6 +195,7 @@ class ProcParser {
     Program p;
     while (!lex_.at_end()) {
       lex_.expect_keyword("process");
+      const std::size_t at = lex_.mark();
       const std::string name = lex_.ident();
       std::vector<std::string> params;
       if (lex_.eat_symbol("(")) {
@@ -170,7 +210,11 @@ class ProcParser {
       lex_.expect_symbol(":=");
       TermPtr body = behaviour();
       lex_.expect_keyword("endproc");
-      p.define(name, std::move(params), std::move(body));
+      try {
+        p.define(name, std::move(params), std::move(body));
+      } catch (const std::invalid_argument& e) {
+        lex_.fail_at(at, e.what());
+      }
     }
     return p;
   }
@@ -273,6 +317,7 @@ class ProcParser {
       return guard(std::move(cond), prefix_expr());
     }
     if (lex_.peek_ident()) {
+      const std::size_t at = lex_.mark();
       const std::string name = lex_.ident();
       // Gate prefix: offers then ';'.  Call: optional '(' args ')'.
       if (lex_.peek_symbol("!") || lex_.peek_symbol("?") ||
@@ -282,18 +327,27 @@ class ProcParser {
           if (lex_.eat_symbol("!")) {
             offers.push_back(emit(atom_expr_for_offer()));
           } else if (lex_.eat_symbol("?")) {
+            const std::size_t var_at = lex_.mark();
             const std::string var = lex_.ident();
             lex_.expect_symbol(":");
             const Value lo = signed_number();
             lex_.expect_symbol("..");
             const Value hi = signed_number();
-            offers.push_back(accept(var, lo, hi));
+            try {
+              offers.push_back(accept(var, lo, hi));
+            } catch (const std::invalid_argument& e) {
+              lex_.fail_at(var_at, e.what());
+            }
           } else {
             break;
           }
         }
         lex_.expect_symbol(";");
-        return prefix(name, std::move(offers), prefix_expr());
+        try {
+          return prefix(name, std::move(offers), prefix_expr());
+        } catch (const std::invalid_argument& e) {
+          lex_.fail_at(at, e.what());
+        }
       }
       std::vector<ExprPtr> args;
       if (lex_.eat_symbol("(")) {

@@ -30,13 +30,36 @@
 
 #include <stdexcept>
 #include <string_view>
+#include <utility>
 
+#include "core/diag.hpp"
 #include "proc/process.hpp"
 
 namespace multival::proc {
 
-struct ProcParseError : std::runtime_error {
-  using std::runtime_error::runtime_error;
+/// Parse failure carrying a structured diagnostic (code MV010) with the
+/// 1-based line/column and the offending token, shared with the static
+/// analyzer's reporting (src/analyze).  what() keeps the classic
+/// "parse error at line L, column C: ..." rendering.
+class ProcParseError : public std::runtime_error {
+ public:
+  explicit ProcParseError(core::Diagnostic d)
+      : std::runtime_error("parse error at line " + std::to_string(d.line) +
+                           ", column " + std::to_string(d.column) + ": " +
+                           d.message),
+        diagnostic_(std::move(d)) {}
+
+  /// Back-compat: a bare message becomes a position-less MV010.
+  explicit ProcParseError(const std::string& message)
+      : std::runtime_error("parse error: " + message),
+        diagnostic_{"MV010", core::Severity::kError, message, {}, 0, 0, {}} {}
+
+  [[nodiscard]] const core::Diagnostic& diagnostic() const {
+    return diagnostic_;
+  }
+
+ private:
+  core::Diagnostic diagnostic_;
 };
 
 /// Parses a whole program (a sequence of process definitions).

@@ -66,6 +66,8 @@ std::string_view to_string(Status s) {
       return "overloaded";
     case Status::kTimeout:
       return "timeout";
+    case Status::kInvalid:
+      return "invalid";
   }
   return "?";
 }
@@ -81,8 +83,8 @@ Verb parse_verb(std::string_view text) {
 }
 
 Status parse_status(std::string_view text) {
-  for (Status s :
-       {Status::kOk, Status::kError, Status::kOverloaded, Status::kTimeout}) {
+  for (Status s : {Status::kOk, Status::kError, Status::kOverloaded,
+                   Status::kTimeout, Status::kInvalid}) {
     if (text == to_string(s)) {
       return s;
     }

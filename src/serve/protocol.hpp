@@ -17,7 +17,19 @@
 //   arg         verb-specific argument (formula for check, label glob for
 //               throughput, optional time bound for reach; else empty)
 //   payload     model text (.aut / extended-.aut) for the solve verbs
-//   status      ok | error | overloaded | timeout
+//   status      ok | error | overloaded | timeout | invalid
+//
+// Statuses:
+//   ok          solved; body carries the result
+//   error       the solver failed at runtime on a well-formed request
+//   overloaded  queue full; resubmit later (no work was done)
+//   timeout     the per-request deadline expired before the solve finished
+//   invalid     the request is ill-formed (unparseable model, or a model the
+//               verb can never solve, e.g. a nondeterministic IMC submitted
+//               to reach/throughput); the body carries the structured lint
+//               diagnostics (MV0xx codes, see README).  Rejected by a
+//               syntax-polynomial pre-flight check before reaching a worker;
+//               resubmitting the same payload can never succeed
 //
 // Solve verbs:
 //   reach       payload = IMC; P[eventually absorbed] of the closed CTMC
@@ -56,6 +68,7 @@ enum class Status {
   kError,
   kOverloaded,
   kTimeout,
+  kInvalid,  ///< ill-formed request, rejected pre-flight with diagnostics
 };
 
 struct Request {

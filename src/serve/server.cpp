@@ -8,6 +8,7 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <system_error>
 #include <stdexcept>
 
 namespace multival::serve {
@@ -49,13 +50,13 @@ Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
   listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
     throw std::runtime_error("serve: socket() failed: " +
-                             std::string(std::strerror(errno)));
+                             std::system_category().message(errno));
   }
   ::unlink(opts_.socket_path.c_str());  // stale socket from a previous run
   if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) != 0 ||
       ::listen(listen_fd_, opts_.listen_backlog) != 0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = std::system_category().message(errno);
     ::close(listen_fd_);
     listen_fd_ = -1;
     throw std::runtime_error("serve: cannot listen on " + opts_.socket_path +
@@ -180,11 +181,11 @@ Client::Client(const std::string& socket_path) {
   fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd_ < 0) {
     throw std::runtime_error("serve client: socket() failed: " +
-                             std::string(std::strerror(errno)));
+                             std::system_category().message(errno));
   }
   if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
       0) {
-    const std::string err = std::strerror(errno);
+    const std::string err = std::system_category().message(errno);
     ::close(fd_);
     fd_ = -1;
     throw std::runtime_error("serve client: cannot connect to " + socket_path +
@@ -202,7 +203,7 @@ Response Client::call(const Request& r) {
   const std::string line = encode_request(r) + "\n";
   if (!send_all(fd_, line.data(), line.size())) {
     throw std::runtime_error("serve client: send failed: " +
-                             std::string(std::strerror(errno)));
+                             std::system_category().message(errno));
   }
   char chunk[4096];
   for (;;) {

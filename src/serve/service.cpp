@@ -34,6 +34,7 @@ core::Table ServiceMetrics::to_table() const {
   t.add_row({"accepted", std::to_string(accepted)});
   t.add_row({"completed ok", std::to_string(completed_ok)});
   t.add_row({"failed", std::to_string(failed)});
+  t.add_row({"invalid (rejected)", std::to_string(invalid)});
   t.add_row({"shed (overloaded)", std::to_string(shed)});
   t.add_row({"timed out", std::to_string(timed_out)});
   t.add_row({"coalesced", std::to_string(coalesced)});
@@ -116,6 +117,16 @@ void Service::submit_async(Request r, std::function<void(Response)> done) {
   Prepared prepared;
   try {
     prepared = prepare_request(r);
+  } catch (const InvalidRequest& e) {
+    // Ill-formed request: rejected by the pre-flight checks before any
+    // worker touches it; the body carries the rendered lint diagnostics.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++accepted_;
+      ++invalid_;
+    }
+    done(Response{r.id, Status::kInvalid, e.what()});
+    return;
   } catch (const std::exception& e) {
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -294,6 +305,7 @@ ServiceMetrics Service::metrics() const {
     m.accepted = accepted_;
     m.completed_ok = completed_ok_;
     m.failed = failed_;
+    m.invalid = invalid_;
     m.shed = shed_;
     m.timed_out = timed_out_;
     m.coalesced = coalesced_;

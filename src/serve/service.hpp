@@ -3,8 +3,9 @@
 // coalescer.
 //
 // Life of a solve request (submit_async):
-//   1. prepare: parse the model, derive the canonical CacheKey
-//      (malformed input completes immediately with kError);
+//   1. prepare: parse and lint the model, derive the canonical CacheKey
+//      (ill-formed input completes immediately with kInvalid and the
+//      rendered MV0xx diagnostics; see serve/solvers.hpp);
 //   2. cache: a hit completes immediately with kOk (checked under the
 //      service lock, atomically with steps 3-4, so a result being published
 //      can never be missed *and* re-queued);
@@ -62,7 +63,8 @@ struct ServiceOptions {
 struct ServiceMetrics {
   std::uint64_t accepted = 0;      ///< submissions (including failed ones)
   std::uint64_t completed_ok = 0;
-  std::uint64_t failed = 0;        ///< malformed input or solver error
+  std::uint64_t failed = 0;        ///< solver or service error
+  std::uint64_t invalid = 0;       ///< ill-formed, rejected pre-flight
   std::uint64_t shed = 0;          ///< rejected with kOverloaded
   std::uint64_t timed_out = 0;
   std::uint64_t coalesced = 0;     ///< joined an existing flight
@@ -142,6 +144,7 @@ class Service {
   std::uint64_t accepted_ = 0;
   std::uint64_t completed_ok_ = 0;
   std::uint64_t failed_ = 0;
+  std::uint64_t invalid_ = 0;
   std::uint64_t shed_ = 0;
   std::uint64_t timed_out_ = 0;
   std::uint64_t coalesced_ = 0;

@@ -5,6 +5,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "analyze/analyze.hpp"
 #include "core/flow.hpp"
 #include "imc/imc_io.hpp"
 #include "imc/scheduler.hpp"
@@ -20,19 +21,56 @@ namespace {
 
 constexpr std::string_view kKeySchema = "serve-v1";
 
+[[noreturn]] void reject(std::string message, std::string hint = {}) {
+  throw InvalidRequest({core::Diagnostic{"MV010", core::Severity::kError,
+                                         std::move(message), "request", 0, 0,
+                                         std::move(hint)}});
+}
+
 std::shared_ptr<const imc::Imc> parse_imc_payload(const Request& r) {
   if (r.payload.empty()) {
-    throw std::runtime_error("serve: empty model payload");
+    reject("empty model payload");
   }
   std::istringstream is(r.payload);
-  return std::make_shared<const imc::Imc>(imc::read_aut(is));
+  try {
+    return std::make_shared<const imc::Imc>(imc::read_aut(is));
+  } catch (const std::exception& e) {
+    reject(std::string("malformed .aut model: ") + e.what());
+  }
+}
+
+/// Pre-flight for the verbs that need a deterministic closed CTMC
+/// (reach/throughput): a residually nondeterministic IMC can never be
+/// flattened by core::close_model (NondetPolicy::kReject), so reject it now
+/// with the lint diagnostics instead of burning a worker on it.
+void require_deterministic(const imc::Imc& m, std::string_view verb) {
+  analyze::Analysis a = analyze::lint_imc(m);
+  std::vector<core::Diagnostic> blocking;
+  for (core::Diagnostic& d : a.diagnostics) {
+    if (d.code == "MV011" || d.code == "MV013") {
+      d.severity = core::Severity::kError;  // fatal for this verb
+      d.hint = std::string("'") + std::string(verb) +
+               "' needs a deterministic closed chain; solve with scheduler "
+               "interval bounds ('bounds'), or resolve the nondeterminism "
+               "(lump/minimise first)";
+      blocking.push_back(std::move(d));
+    }
+  }
+  if (!blocking.empty()) {
+    throw InvalidRequest(std::move(blocking));
+  }
 }
 
 double parse_time_bound(const std::string& arg) {
   std::size_t used = 0;
-  const double t = std::stod(arg, &used);
+  double t = 0.0;
+  try {
+    t = std::stod(arg, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
   if (used != arg.size() || !(t > 0.0)) {
-    throw std::runtime_error("serve: bad time bound '" + arg + "'");
+    reject("bad time bound '" + arg + "'", "expected a positive number");
   }
   return t;
 }
@@ -52,6 +90,7 @@ std::vector<bool> absorbing_states(const markov::Ctmc& c) {
 
 Prepared prepare_reach(const Request& r) {
   auto m = parse_imc_payload(r);
+  require_deterministic(*m, "reach");
   // Canonicalise the time bound through its parsed value, so "0.50" and
   // "0.5" share one cache entry.
   const bool bounded = !r.arg.empty();
@@ -101,10 +140,20 @@ Prepared prepare_bounds(const Request& r) {
 
 Prepared prepare_check(const Request& r) {
   if (r.payload.empty()) {
-    throw std::runtime_error("serve: empty model payload");
+    reject("empty model payload");
   }
-  auto l = std::make_shared<const lts::Lts>(lts::from_aut(r.payload));
-  auto f = mc::parse_formula(r.arg);
+  std::shared_ptr<const lts::Lts> l;
+  try {
+    l = std::make_shared<const lts::Lts>(lts::from_aut(r.payload));
+  } catch (const std::exception& e) {
+    reject(std::string("malformed .aut model: ") + e.what());
+  }
+  mc::FormulaPtr f;
+  try {
+    f = mc::parse_formula(r.arg);
+  } catch (const std::exception& e) {
+    reject(std::string("malformed formula: ") + e.what());
+  }
   Hasher h;
   h.str(kKeySchema);
   h.str("check");
@@ -121,8 +170,9 @@ Prepared prepare_check(const Request& r) {
 
 Prepared prepare_throughput(const Request& r) {
   auto m = parse_imc_payload(r);
+  require_deterministic(*m, "throughput");
   if (r.arg.empty()) {
-    throw std::runtime_error("serve: throughput needs a label glob");
+    reject("throughput needs a label glob", "pass the label pattern as arg");
   }
   Hasher h;
   h.str(kKeySchema);

@@ -9,8 +9,12 @@
 #pragma once
 
 #include <functional>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/diag.hpp"
 #include "serve/hash.hpp"
 #include "serve/protocol.hpp"
 
@@ -20,14 +24,34 @@ namespace multival::serve {
 /// control verbs (ping/stats/shutdown) are handled by the service/server.
 [[nodiscard]] bool is_solve_verb(Verb v);
 
+/// An ill-formed request: unparseable model/formula/argument, or a model the
+/// verb can never solve (e.g. a nondeterministic IMC submitted to reach).
+/// Detected by the syntax-polynomial pre-flight in prepare_request, i.e.
+/// before any worker runs; the service answers Status::kInvalid with the
+/// rendered diagnostics as the body.
+class InvalidRequest : public std::runtime_error {
+ public:
+  explicit InvalidRequest(std::vector<core::Diagnostic> diagnostics)
+      : std::runtime_error(core::render_text(diagnostics)),
+        diagnostics_(std::move(diagnostics)) {}
+
+  [[nodiscard]] const std::vector<core::Diagnostic>& diagnostics() const {
+    return diagnostics_;
+  }
+
+ private:
+  std::vector<core::Diagnostic> diagnostics_;
+};
+
 /// A parsed, keyed request ready to run on any worker thread.
 struct Prepared {
   CacheKey key;
   std::function<std::string()> run;  ///< deterministic; throws on failure
 };
 
-/// Parses and keys @p r.  Throws std::runtime_error (including ParseError /
-/// ProtocolError) on malformed payloads, non-solve verbs or bad arguments.
+/// Parses and keys @p r.  Throws InvalidRequest (with MV0xx diagnostics) on
+/// malformed payloads/arguments and on models the verb can never solve;
+/// std::runtime_error on non-solve verbs.
 [[nodiscard]] Prepared prepare_request(const Request& r);
 
 /// Convenience: prepare + run in one call (the "direct in-process solve").

@@ -28,6 +28,13 @@ expect_usage_failure(frobnicate)                          # unknown subcommand
 expect_usage_failure(gen model.proc Entry --bogus)        # unknown flag
 expect_usage_failure(explore model.proc Entry --no-such-flag)
 expect_usage_failure(explore model.proc Entry -j banana)  # bad number
+expect_usage_failure(lint)                                # nothing to lint
+expect_usage_failure(lint --json)                         # still nothing
+expect_usage_failure(lint model.proc --bogus)             # unknown flag
+expect_usage_failure(lint model.proc --imc m.imc)         # two modes at once
+expect_usage_failure(lint --builtin no-such-model)        # unknown builtin
+expect_usage_failure(lint --fixed-delay banana)           # bad number
+expect_usage_failure(lint --fixed-delay 1 --error-bound 2)
 expect_usage_failure(serve --socket)                      # flag missing value
 expect_usage_failure(serve --port 1234)                   # unknown flag
 expect_usage_failure(serve --socket /tmp/x.sock --queue many)

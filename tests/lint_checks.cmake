@@ -1,0 +1,76 @@
+# Model lint checks, run by ctest as:
+#   cmake -DCLI=<path to multival_cli> -DMODELS=<examples/models dir>
+#         -P lint_checks.cmake
+#
+# CI invariant for the shipped models: every builtin case-study generator
+# and every example .proc model lints with zero errors (warnings and
+# advisories are allowed — the noc scenarios use the restriction idiom on
+# purpose).  A deliberately ill-formed model must fail with the documented
+# MV0xx code on stdout, not a crash or a silent pass.
+if(NOT DEFINED CLI OR NOT DEFINED MODELS)
+  message(FATAL_ERROR
+    "pass -DCLI=<path to multival_cli> -DMODELS=<examples/models dir>")
+endif()
+
+function(expect_lint_clean)
+  execute_process(COMMAND ${CLI} lint ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "multival_cli lint ${ARGN}: expected exit 0, got ${rc}:\n${out}${err}")
+  endif()
+endfunction()
+
+# expect_lint_error(<MV code> <lint args...>): exit 1 and the code printed.
+function(expect_lint_error code)
+  execute_process(COMMAND ${CLI} lint ${ARGN}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+      "multival_cli lint ${ARGN}: expected exit 1, got ${rc}:\n${out}${err}")
+  endif()
+  if(NOT out MATCHES "${code}")
+    message(FATAL_ERROR
+      "multival_cli lint ${ARGN}: expected ${code} in output, got:\n${out}")
+  endif()
+endfunction()
+
+# (a) every builtin case-study generator is error-free.
+expect_lint_clean(--builtin all)
+
+# (b) every example model is error-free, standalone and from its entry.
+file(GLOB models ${MODELS}/*.proc)
+if(NOT models)
+  message(FATAL_ERROR "no .proc models found under ${MODELS}")
+endif()
+foreach(model IN LISTS models)
+  expect_lint_clean(${model})
+endforeach()
+expect_lint_clean(${MODELS}/mutex.proc System --strict)
+expect_lint_clean(${MODELS}/counter.proc Count 0 --strict)
+
+# (c) a never-firing sync gate whose operand is stuck from its initial
+# state is the MV003 structural-deadlock error.
+file(WRITE ${CMAKE_CURRENT_BINARY_DIR}/lint_broken_gate.proc
+  "process Left := A ; Left endproc\n"
+  "process Stuck := GO ; stop endproc\n"
+  "process System := Left |[GO]| Stuck endproc\n")
+expect_lint_error(MV003 ${CMAKE_CURRENT_BINARY_DIR}/lint_broken_gate.proc)
+expect_lint_error(MV003 ${CMAKE_CURRENT_BINARY_DIR}/lint_broken_gate.proc
+  --json)
+
+# (d) unparseable text is the MV010 diagnostic (with a position), not a
+# tool crash.
+file(WRITE ${CMAKE_CURRENT_BINARY_DIR}/lint_broken_syntax.proc
+  "process P := ; stop endproc\n")
+expect_lint_error(MV010 ${CMAKE_CURRENT_BINARY_DIR}/lint_broken_syntax.proc)
+
+# (e) an undefined entry process is caught even when the definitions are
+# fine on their own.
+expect_lint_error(MV001 ${MODELS}/mutex.proc NoSuchProcess)
+
+message(STATUS "all model lint checks passed")

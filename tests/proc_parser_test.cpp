@@ -171,8 +171,9 @@ TEST(ProcProgramParser, Errors) {
   EXPECT_THROW((void)parse_program("process P := A stop endproc"),
                ProcParseError);
   EXPECT_THROW((void)parse_behaviour("A; stop trailing"), ProcParseError);
-  // Reserved gate name through the parser surfaces the builder's check.
-  EXPECT_THROW((void)parse_behaviour("i; stop"), std::invalid_argument);
+  // Reserved gate name through the parser surfaces the builder's check,
+  // wrapped with a source position like every other parse failure.
+  EXPECT_THROW((void)parse_behaviour("i; stop"), ProcParseError);
 }
 
 TEST(ProcProgramParser, ErrorMessageHasPosition) {
@@ -181,6 +182,38 @@ TEST(ProcProgramParser, ErrorMessageHasPosition) {
     FAIL() << "expected ProcParseError";
   } catch (const ProcParseError& e) {
     EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    // The structured diagnostic carries the same position plus the token.
+    EXPECT_EQ(e.diagnostic().code, "MV010");
+    EXPECT_EQ(e.diagnostic().line, 3u);
+    EXPECT_NE(e.diagnostic().message.find("near end of input"),
+              std::string::npos);
+  }
+}
+
+TEST(ProcProgramParser, BuilderErrorsCarryPosition) {
+  try {
+    (void)parse_behaviour("A; i; stop");
+    FAIL() << "expected ProcParseError";
+  } catch (const ProcParseError& e) {
+    EXPECT_EQ(e.diagnostic().code, "MV010");
+    EXPECT_EQ(e.diagnostic().line, 1u);
+    EXPECT_EQ(e.diagnostic().column, 4u);
+    EXPECT_NE(e.diagnostic().message.find("reserved"), std::string::npos);
+  }
+  try {
+    (void)parse_behaviour("G ?x:5..1 ; stop");
+    FAIL() << "expected ProcParseError";
+  } catch (const ProcParseError& e) {
+    EXPECT_NE(e.diagnostic().message.find("empty range"), std::string::npos);
+    EXPECT_EQ(e.diagnostic().line, 1u);
+  }
+  try {
+    (void)parse_program(
+        "process P := stop endproc\nprocess P := stop endproc");
+    FAIL() << "expected ProcParseError";
+  } catch (const ProcParseError& e) {
+    EXPECT_NE(e.diagnostic().message.find("redefinition"), std::string::npos);
+    EXPECT_EQ(e.diagnostic().line, 2u);
   }
 }
 

@@ -384,14 +384,35 @@ TEST(ServeService, QueuedRequestPastItsDeadlineTimesOut) {
   EXPECT_EQ(service.metrics().timed_out, 1u);
 }
 
-TEST(ServeService, MalformedPayloadFailsWithoutTouchingTheQueue) {
+TEST(ServeService, MalformedPayloadIsInvalidWithoutTouchingTheQueue) {
   serve::Service service;
   const serve::Response resp =
       service.evaluate(make_request(serve::Verb::kReach, "des (not aut"));
-  EXPECT_EQ(resp.status, serve::Status::kError);
+  EXPECT_EQ(resp.status, serve::Status::kInvalid);
+  EXPECT_NE(resp.body.find("MV010"), std::string::npos);
   const serve::ServiceMetrics m = service.metrics();
-  EXPECT_EQ(m.failed, 1u);
+  EXPECT_EQ(m.invalid, 1u);
+  EXPECT_EQ(m.failed, 0u);
   EXPECT_EQ(m.solves, 0u);
+}
+
+TEST(ServeService, NondetImcOnReachIsInvalidWithAnActionableHint) {
+  // reach/throughput need a deterministic closed chain; a nondeterministic
+  // IMC can never satisfy them, so the pre-flight lint rejects it with the
+  // MV013 diagnostic pointing at 'bounds' instead of failing in a worker.
+  serve::Service service;
+  const serve::Response resp =
+      service.evaluate(make_request(serve::Verb::kReach, kNondetModel));
+  EXPECT_EQ(resp.status, serve::Status::kInvalid);
+  EXPECT_NE(resp.body.find("MV013"), std::string::npos);
+  EXPECT_NE(resp.body.find("bounds"), std::string::npos);
+  // The same model is perfectly valid for the bounds verb.
+  EXPECT_EQ(service.evaluate(make_request(serve::Verb::kBounds, kNondetModel))
+                .status,
+            serve::Status::kOk);
+  const serve::ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.invalid, 1u);
+  EXPECT_EQ(m.solves, 1u);
 }
 
 TEST(ServeService, ControlVerbsAreHandledInline) {
@@ -494,6 +515,41 @@ TEST(ServeSocket, EndToEndSolveDuplicateStatsShutdown) {
   const serve::ServiceMetrics m = server.service().metrics();
   EXPECT_EQ(m.solves, 1u);
   EXPECT_EQ(m.cache_hits, 1u);
+}
+
+TEST(ServeSocket, MalformedModelGetsDiagnosticsNotTimeout) {
+  // A client submitting garbage must get the lint diagnostics back as an
+  // immediate 'invalid' response — not kError, and certainly not a
+  // kTimeout after its deadline silently expired in the queue.
+  const std::string socket_path =
+      "/tmp/mvserve_invalid_" + std::to_string(::getpid()) + ".sock";
+  serve::ServerOptions opts;
+  opts.socket_path = socket_path;
+  opts.service.workers = 1;
+  serve::Server server(opts);
+  std::thread server_thread([&server] { server.run(); });
+
+  {
+    serve::Client client(socket_path);
+    serve::Request bad =
+        make_request(serve::Verb::kReach, "des (garbage", "", 7);
+    bad.deadline = std::chrono::milliseconds(60000);
+    const serve::Response resp = client.call(bad);
+    EXPECT_EQ(resp.status, serve::Status::kInvalid);
+    EXPECT_EQ(resp.id, 7u);
+    EXPECT_NE(resp.body.find("MV010"), std::string::npos)
+        << "body should carry the structured diagnostic, got: " << resp.body;
+    EXPECT_NE(resp.body.find("malformed .aut model"), std::string::npos);
+
+    const serve::Response bye =
+        client.call(make_request(serve::Verb::kShutdown, ""));
+    EXPECT_EQ(bye.status, serve::Status::kOk);
+  }
+  server_thread.join();
+  const serve::ServiceMetrics m = server.service().metrics();
+  EXPECT_EQ(m.invalid, 1u);
+  EXPECT_EQ(m.timed_out, 0u);
+  EXPECT_EQ(m.solves, 0u);
 }
 
 }  // namespace
