@@ -10,7 +10,11 @@
 // Note: speedups are only meaningful on a multi-core host.  On a
 // single-core container the parallel runs measure the engine's coordination
 // overhead instead (speedup <= 1).
+//
+// Flags: --json PATH (machine-readable copy of the table rows)
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -22,9 +26,21 @@
 #include "fame/coherence.hpp"
 #include "fame/coherence_n.hpp"
 #include "lts/lts_io.hpp"
+#include "serve/solvers.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace multival;
+
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "usage: bench_explore [--json PATH]\n";
+      return 2;
+    }
+  }
 
   struct Model {
     std::string name;
@@ -42,6 +58,7 @@ int main() {
   core::Table t("exploration scaling (parallel BFS, exact store)",
                 {"model", "workers", "states", "transitions", "time (s)",
                  "states/s", "speedup", "peak frontier"});
+  std::ostringstream rows;
 
   for (const Model& m : models) {
     const auto oracle = explore::proc_oracle(m.program, m.entry);
@@ -75,10 +92,33 @@ int main() {
                  std::to_string(static_cast<long long>(r.stats.states_per_sec)),
                  core::fmt(base_seconds / r.stats.seconds, 2),
                  std::to_string(r.stats.peak_frontier)});
+      if (rows.tellp() > 0) {
+        rows << ",\n";
+      }
+      rows << "    {\"model\": \"" << m.name << "\", \"workers\": " << workers
+           << ", \"states\": " << r.stats.num_states
+           << ", \"transitions\": " << r.stats.num_transitions
+           << ", \"seconds\": " << serve::format_double(r.stats.seconds)
+           << ", \"states_per_sec\": "
+           << serve::format_double(r.stats.states_per_sec)
+           << ", \"speedup\": "
+           << serve::format_double(base_seconds / r.stats.seconds)
+           << ", \"peak_frontier\": " << r.stats.peak_frontier << "}";
     }
   }
   t.print(std::cout);
   std::cout << "\nhardware concurrency: "
             << std::thread::hardware_concurrency() << "\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "ERROR: cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << "{\n  \"bench\": \"explore\",\n  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency() << ",\n  \"rows\": [\n"
+        << std::move(rows).str() << "\n  ]\n}\n";
+  }
   return 0;
 }

@@ -17,6 +17,7 @@
 //
 // Flags: --clients N  --requests N (per client)  --dup R (0..1)
 //        --workers N  --smoke (tiny deterministic run for CI)
+//        --json PATH (machine-readable copy of the report)
 #include <unistd.h>
 
 #include <algorithm>
@@ -24,7 +25,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +36,7 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/solvers.hpp"
 
 namespace {
 
@@ -63,6 +67,7 @@ int main(int argc, char** argv) {
   std::size_t requests = 8;
   double dup_ratio = 0.5;
   unsigned workers = 0;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--clients" && i + 1 < argc) {
@@ -76,9 +81,11 @@ int main(int argc, char** argv) {
     } else if (a == "--smoke") {
       clients = 4;
       requests = 4;
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     } else {
       std::cerr << "usage: bench_serve [--clients N] [--requests N] "
-                   "[--dup R] [--workers N] [--smoke]\n";
+                   "[--dup R] [--workers N] [--smoke] [--json PATH]\n";
       return 2;
     }
   }
@@ -178,6 +185,34 @@ int main(int argc, char** argv) {
   t.print(std::cout);
   std::cout << "\n";
   m.to_table().print(std::cout);
+
+  if (!json_path.empty()) {
+    const auto num = [](double v) { return serve::format_double(v); };
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"bench\": \"serve\",\n"
+       << "  \"clients\": " << clients << ",\n"
+       << "  \"requests_per_client\": " << requests << ",\n"
+       << "  \"total_requests\": " << total << ",\n"
+       << "  \"distinct_models\": " << distinct << ",\n"
+       << "  \"wall_s\": " << num(wall) << ",\n"
+       << "  \"throughput_rps\": "
+       << num(static_cast<double>(total) / wall) << ",\n"
+       << "  \"latency_p50_ms\": " << num(percentile(all, 0.50)) << ",\n"
+       << "  \"latency_p99_ms\": " << num(percentile(all, 0.99)) << ",\n"
+       << "  \"solves\": " << m.solves << ",\n"
+       << "  \"coalesced\": " << m.coalesced << ",\n"
+       << "  \"cache_hits\": " << m.cache_hits << ",\n"
+       << "  \"shed\": " << m.shed << ",\n"
+       << "  \"failures\": " << failures.load() << "\n"
+       << "}\n";
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "ERROR: cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << std::move(os).str();
+  }
 
   // Self-validation: the acceptance property of the coalescing cache.
   bool ok = true;

@@ -1,0 +1,64 @@
+// Shared command-line validation for the multival binaries: one place for
+// the numeric/flag parsing contract that tests/cli_checks.cmake pins down
+// (malformed invocations exit nonzero with "usage:" on stderr), so every
+// subcommand and bench harness rejects bad input identically.
+#pragma once
+
+#include <charconv>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+namespace multival::cli {
+
+/// Malformed command line (unknown flag, bad number): main prints usage to
+/// stderr and exits nonzero, the same path as an unknown subcommand.
+struct UsageError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+[[nodiscard]] inline long parse_long(const std::string& text,
+                                     const char* what) {
+  long v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), v);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    throw UsageError(std::string("bad ") + what + ": '" + text + "'");
+  }
+  return v;
+}
+
+[[nodiscard]] inline unsigned parse_unsigned(const std::string& text,
+                                             const char* what) {
+  const long v = parse_long(text, what);
+  if (v < 0) {
+    throw UsageError(std::string("bad ") + what + ": '" + text + "'");
+  }
+  return static_cast<unsigned>(v);
+}
+
+[[nodiscard]] inline double parse_double(const std::string& text,
+                                         const char* what) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size() || !std::isfinite(v)) {
+      throw std::invalid_argument(text);
+    }
+    return v;
+  } catch (const std::exception&) {
+    throw UsageError(std::string("bad ") + what + ": '" + text + "'");
+  }
+}
+
+[[nodiscard]] inline std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open " + path);
+  }
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+}  // namespace multival::cli

@@ -26,6 +26,9 @@
 //   multival_cli client --socket <path> bounds <file.imc>
 //   multival_cli client --socket <path> check <file.aut> '<formula>'
 //   multival_cli client --socket <path> throughput <file.imc> <label-glob>
+//   multival_cli dse [--spec <file> | --builtin <default|smoke>] [-j N]
+//       [--socket PATH [--retry-ms MS]] [--deadline MS] [--repeat N]
+//       [--json PATH] [--csv PATH] [--no-timing]
 #include <charconv>
 #include <cmath>
 #include <fstream>
@@ -33,7 +36,11 @@
 #include <set>
 #include <string>
 
+#include "cli_util.hpp"
+
 #include "analyze/analyze.hpp"
+#include "dse/driver.hpp"
+#include "dse/grid.hpp"
 #include "bisim/equivalence.hpp"
 #include "bisim/trace.hpp"
 #include "fame/coherence.hpp"
@@ -64,38 +71,11 @@ namespace {
 
 using namespace multival;
 
-/// Malformed command line (unknown flag, bad number): main prints usage to
-/// stderr and exits nonzero, the same path as an unknown subcommand.
-struct UsageError : std::runtime_error {
-  using std::runtime_error::runtime_error;
-};
-
-long parse_long(const std::string& text, const char* what) {
-  long v = 0;
-  const auto [ptr, ec] =
-      std::from_chars(text.data(), text.data() + text.size(), v);
-  if (ec != std::errc{} || ptr != text.data() + text.size()) {
-    throw UsageError(std::string("bad ") + what + ": '" + text + "'");
-  }
-  return v;
-}
-
-unsigned parse_unsigned(const std::string& text, const char* what) {
-  const long v = parse_long(text, what);
-  if (v < 0) {
-    throw UsageError(std::string("bad ") + what + ": '" + text + "'");
-  }
-  return static_cast<unsigned>(v);
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in) {
-    throw std::runtime_error("cannot open " + path);
-  }
-  return std::string((std::istreambuf_iterator<char>(in)),
-                     std::istreambuf_iterator<char>());
-}
+using cli::UsageError;
+using cli::parse_double;
+using cli::parse_long;
+using cli::parse_unsigned;
+using cli::read_file;
 
 lts::Lts load(const std::string& path) {
   std::ifstream in(path);
@@ -381,19 +361,6 @@ int cmd_solve(const std::string& path, bool stats) {
   return 0;
 }
 
-double parse_double(const std::string& text, const char* what) {
-  try {
-    std::size_t pos = 0;
-    const double v = std::stod(text, &pos);
-    if (pos != text.size() || !std::isfinite(v)) {
-      throw std::invalid_argument(text);
-    }
-    return v;
-  } catch (const std::exception&) {
-    throw UsageError(std::string("bad ") + what + ": '" + text + "'");
-  }
-}
-
 /// The shipped case-study generators, lintable by name so CI can gate every
 /// model the repo builds programmatically (the .proc examples are covered by
 /// the file mode).
@@ -619,11 +586,15 @@ int cmd_serve(int argc, char** argv) {
 
 int cmd_client(int argc, char** argv) {
   std::string socket_path;
+  std::chrono::milliseconds connect_timeout{0};
   std::vector<std::string> rest;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--socket" && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (a == "--retry-ms" && i + 1 < argc) {
+      connect_timeout =
+          std::chrono::milliseconds(parse_unsigned(argv[++i], "retry budget"));
     } else if (!a.empty() && a[0] == '-') {
       throw UsageError("client: unknown flag " + a);
     } else {
@@ -678,7 +649,7 @@ int cmd_client(int argc, char** argv) {
       request.arg = rest[2];
       break;
   }
-  serve::Client client(socket_path);
+  serve::Client client(socket_path, connect_timeout);
   const serve::Response response = client.call(request);
   if (response.status == serve::Status::kOk) {
     std::cout << response.body << "\n";
@@ -693,6 +664,104 @@ int cmd_client(int argc, char** argv) {
     return 4;  // permanent: the model itself is ill-formed
   }
   return 2;
+}
+
+int cmd_dse(int argc, char** argv) {
+  // dse [--spec <file> | --builtin <default|smoke>] [-j N] [--socket PATH]
+  //     [--retry-ms MS] [--deadline MS] [--repeat N] [--json PATH]
+  //     [--csv PATH] [--no-timing]
+  std::string spec_path;
+  std::string builtin = "default";
+  bool builtin_set = false;
+  std::string json_path;
+  std::string csv_path;
+  bool timing = true;
+  dse::DriverOptions opts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--spec" && i + 1 < argc) {
+      spec_path = argv[++i];
+    } else if (a == "--builtin" && i + 1 < argc) {
+      builtin = argv[++i];
+      builtin_set = true;
+    } else if (a == "-j" && i + 1 < argc) {
+      opts.workers = parse_unsigned(argv[++i], "worker count");
+    } else if (a == "--socket" && i + 1 < argc) {
+      opts.socket = argv[++i];
+    } else if (a == "--retry-ms" && i + 1 < argc) {
+      opts.connect_timeout =
+          std::chrono::milliseconds(parse_unsigned(argv[++i], "retry budget"));
+    } else if (a == "--deadline" && i + 1 < argc) {
+      opts.deadline =
+          std::chrono::milliseconds(parse_unsigned(argv[++i], "deadline"));
+    } else if (a == "--repeat" && i + 1 < argc) {
+      opts.repeat = parse_unsigned(argv[++i], "repeat count");
+      if (opts.repeat == 0) {
+        throw UsageError("dse: --repeat must be >= 1");
+      }
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (a == "--csv" && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (a == "--no-timing") {
+      timing = false;
+    } else {
+      throw UsageError("dse: unknown flag " + a);
+    }
+  }
+  if (!spec_path.empty() && builtin_set) {
+    throw UsageError("dse: --spec and --builtin are mutually exclusive");
+  }
+
+  dse::SweepSpec spec;
+  try {
+    const std::string text =
+        spec_path.empty() ? dse::builtin_sweep_spec(builtin)
+                          : read_file(spec_path);
+    spec = dse::parse_sweep_spec(text);
+  } catch (const dse::SpecError& e) {
+    throw UsageError(std::string("dse: ") + e.what());
+  }
+
+  const dse::SweepResult result = dse::run_sweep(spec, opts);
+  std::cout << result.name << ": " << result.raw_points << " grid points, "
+            << result.pruned << " pruned by constraints, "
+            << result.points.size() << " evaluated ("
+            << result.probes_submitted << " probes, "
+            << result.distinct_keys << " distinct sub-models)\n";
+  if (result.have_service_metrics) {
+    std::cout << "serve: " << result.service.solves << " solves, "
+              << (result.service.cache_hits + result.service.coalesced)
+              << " reused, " << result.service.shed << " shed\n";
+  }
+  dse::front_table(result).print(std::cout);
+  for (const dse::PointResult& p : result.points) {
+    if (p.status == "gated") {
+      std::cerr << p.point.id << ": gated by lint\n";
+      for (const std::string& e : p.gate_errors) {
+        std::cerr << "  " << e << "\n";
+      }
+    } else if (p.status == "error") {
+      std::cerr << p.point.id << ": evaluation failed\n";
+    }
+  }
+  if (!json_path.empty()) {
+    std::ofstream os(json_path);
+    if (!os) {
+      throw std::runtime_error("cannot write " + json_path);
+    }
+    os << dse::to_json(result, timing);
+    std::cout << "written to " << json_path << "\n";
+  }
+  if (!csv_path.empty()) {
+    std::ofstream os(csv_path);
+    if (!os) {
+      throw std::runtime_error("cannot write " + csv_path);
+    }
+    os << dse::to_csv(result);
+    std::cout << "written to " << csv_path << "\n";
+  }
+  return result.all_ok() ? 0 : 1;
 }
 
 int usage() {
@@ -719,14 +788,18 @@ int usage() {
          "  multival_cli dot   <file.aut> [out.dot]\n"
          "  multival_cli serve --socket <path> [-j N] [--queue N] "
          "[--deadline MS] [--cache-mb N] [--cache-dir DIR]\n"
-         "  multival_cli client --socket <path> <ping|stats|shutdown>\n"
+         "  multival_cli client --socket <path> [--retry-ms MS] "
+         "<ping|stats|shutdown>\n"
          "  multival_cli client --socket <path> reach <file.imc> "
          "[time-bound]\n"
          "  multival_cli client --socket <path> bounds <file.imc>\n"
          "  multival_cli client --socket <path> check <file.aut> "
          "'<formula>'\n"
          "  multival_cli client --socket <path> throughput <file.imc> "
-         "<label-glob>\n";
+         "<label-glob>\n"
+         "  multival_cli dse   [--spec <file> | --builtin <default|smoke>] "
+         "[-j N] [--socket PATH [--retry-ms MS]] [--deadline MS] "
+         "[--repeat N] [--json PATH] [--csv PATH] [--no-timing]\n";
   return 2;
 }
 
@@ -780,6 +853,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "client" && argc >= 4) {
       return cmd_client(argc, argv);
+    }
+    if (cmd == "dse") {
+      return cmd_dse(argc, argv);
     }
     return usage();
   } catch (const UsageError& e) {

@@ -1,0 +1,100 @@
+#include "dse/pareto.hpp"
+
+#include <set>
+
+namespace multival::dse {
+
+std::vector<Objective> default_objectives() {
+  return {{"latency", false},
+          {"throughput", true},
+          {"occupancy", false},
+          {"states", false}};
+}
+
+std::vector<Objective> resolve_objectives(
+    const std::vector<std::pair<std::string, bool>>& overrides) {
+  if (overrides.empty()) {
+    return default_objectives();
+  }
+  std::vector<Objective> objectives;
+  std::set<std::string> seen;
+  for (const auto& [metric, maximise] : overrides) {
+    (void)metric_value(Metrics{}, metric);  // validates the name
+    if (!seen.insert(metric).second) {
+      throw SpecError("duplicate objective '" + metric + "'");
+    }
+    objectives.push_back({metric, maximise});
+  }
+  return objectives;
+}
+
+double metric_value(const Metrics& m, const std::string& name) {
+  if (name == "latency") {
+    return m.latency;
+  }
+  if (name == "latency_width") {
+    return m.latency_width;
+  }
+  if (name == "throughput") {
+    return m.throughput;
+  }
+  if (name == "occupancy") {
+    return m.occupancy;
+  }
+  if (name == "states") {
+    return m.states;
+  }
+  throw SpecError("unknown metric '" + name +
+                  "' (known: latency, latency_width, throughput, occupancy, "
+                  "states)");
+}
+
+bool dominates(const Metrics& a, const Metrics& b,
+               const std::vector<Objective>& objectives) {
+  bool strictly_better = false;
+  for (const Objective& o : objectives) {
+    double va = metric_value(a, o.metric);
+    double vb = metric_value(b, o.metric);
+    if (o.maximise) {
+      va = -va;
+      vb = -vb;
+    }
+    if (va > vb) {
+      return false;
+    }
+    if (va < vb) {
+      strictly_better = true;
+    }
+  }
+  return strictly_better;
+}
+
+std::vector<int> pareto_ranks(const std::vector<Metrics>& points,
+                              const std::vector<Objective>& objectives) {
+  const std::size_t n = points.size();
+  std::vector<int> ranks(n, -1);
+  std::size_t assigned = 0;
+  for (int rank = 0; assigned < n; ++rank) {
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (ranks[i] != -1) {
+        continue;
+      }
+      bool dominated = false;
+      for (std::size_t j = 0; j < n && !dominated; ++j) {
+        dominated = j != i && ranks[j] == -1 &&
+                    dominates(points[j], points[i], objectives);
+      }
+      if (!dominated) {
+        front.push_back(i);
+      }
+    }
+    for (const std::size_t i : front) {
+      ranks[i] = rank;
+    }
+    assigned += front.size();
+  }
+  return ranks;
+}
+
+}  // namespace multival::dse

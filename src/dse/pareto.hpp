@@ -1,0 +1,50 @@
+// Dominance-ranked Pareto fronts over the dse metric vectors.
+//
+// An objective names a metric and a direction; point a dominates point b
+// when a is no worse than b in every objective and strictly better in at
+// least one.  pareto_ranks() performs non-dominated sorting: rank 0 is the
+// Pareto front, rank 1 the front of what remains after removing rank 0, and
+// so on.  Ranking depends only on the metric values and the objective list,
+// never on evaluation order, and ties inside a rank are presented in
+// expansion order — so the ranked output is deterministic across reruns and
+// worker counts.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dse/scenario.hpp"
+
+namespace multival::dse {
+
+struct Objective {
+  std::string metric;     ///< latency | latency_width | throughput |
+                          ///< occupancy | states
+  bool maximise = false;  ///< false = minimise
+};
+
+/// The shipped default: min latency, max throughput, min occupancy,
+/// min states.
+[[nodiscard]] std::vector<Objective> default_objectives();
+
+/// Resolves spec overrides (metric, maximise) against the known metric
+/// names; empty overrides yield the defaults.  Throws SpecError on an
+/// unknown metric or a duplicate.
+[[nodiscard]] std::vector<Objective> resolve_objectives(
+    const std::vector<std::pair<std::string, bool>>& overrides);
+
+/// Value of the named metric.  Throws SpecError on an unknown name.
+[[nodiscard]] double metric_value(const Metrics& m, const std::string& name);
+
+/// True when @p a dominates @p b under @p objectives.
+[[nodiscard]] bool dominates(const Metrics& a, const Metrics& b,
+                             const std::vector<Objective>& objectives);
+
+/// Non-dominated sorting.  ranks[i] is the front index of points[i]
+/// (0 = Pareto-optimal).  O(fronts * n^2); n is small (a sweep).
+[[nodiscard]] std::vector<int> pareto_ranks(
+    const std::vector<Metrics>& points,
+    const std::vector<Objective>& objectives);
+
+}  // namespace multival::dse

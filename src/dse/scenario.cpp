@@ -1,0 +1,315 @@
+#include "dse/scenario.hpp"
+
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+#include "core/flow.hpp"
+#include "fame/mpi.hpp"
+#include "fame/topology.hpp"
+#include "imc/imc_io.hpp"
+#include "noc/mesh.hpp"
+#include "noc/perf.hpp"
+#include "xstream/queue_model.hpp"
+
+namespace multival::dse {
+
+namespace {
+
+/// Rejects axes the family does not define, so a typo in a spec fails the
+/// whole sweep loudly instead of silently sweeping a default.
+void check_axes(const Point& p, const std::set<std::string>& known) {
+  for (const auto& [name, value] : p.axes) {
+    if (known.count(name) == 0) {
+      std::string hint;
+      for (const std::string& k : known) {
+        hint += (hint.empty() ? "" : ", ") + k;
+      }
+      throw SpecError("point " + p.id + ": family '" + p.family +
+                      "' has no axis '" + name + "' (known: " + hint + ")");
+    }
+  }
+}
+
+void check_range(const Point& p, const std::string& axis, long v, long lo,
+                 long hi) {
+  if (v < lo || v > hi) {
+    throw SpecError("point " + p.id + ": " + axis + "=" + std::to_string(v) +
+                    " outside " + std::to_string(lo) + ".." +
+                    std::to_string(hi));
+  }
+}
+
+Probe imc_probe(std::string name, serve::Verb verb, std::string arg,
+                const imc::Imc& m) {
+  Probe probe;
+  probe.name = std::move(name);
+  probe.verb = verb;
+  probe.arg = std::move(arg);
+  probe.payload = imc::to_aut(m);
+  probe.imc_states = m.num_states();
+  return probe;
+}
+
+Instantiated instantiate_noc(const Point& p) {
+  check_axes(p, {"width", "height", "buffer", "src", "dst", "inject_rate",
+                 "link_rate", "eject_rate"});
+  noc::MeshDims dims;
+  dims.width = static_cast<int>(p.get_long("width", 2));
+  dims.height = static_cast<int>(p.get_long("height", 2));
+  dims.buffer_depth = static_cast<int>(p.get_long("buffer", 1));
+  check_range(p, "width", dims.width, 2, 4);
+  check_range(p, "height", dims.height, 2, 4);
+  check_range(p, "buffer", dims.buffer_depth, 1, 3);
+  const int src = static_cast<int>(p.get_long("src", 0));
+  const int dst =
+      static_cast<int>(p.get_long("dst", static_cast<long>(dims.nodes() - 1)));
+  check_range(p, "src", src, 0, dims.nodes() - 1);
+  check_range(p, "dst", dst, 0, dims.nodes() - 1);
+  if (src == dst) {
+    throw SpecError("point " + p.id + ": src == dst");
+  }
+  noc::NocRates rates;
+  rates.inject_rate = p.get_double("inject_rate", rates.inject_rate);
+  rates.link_rate = p.get_double("link_rate", rates.link_rate);
+  rates.eject_rate = p.get_double("eject_rate", rates.eject_rate);
+
+  Instantiated inst;
+  inst.gates.push_back(
+      {"noc/single-packet",
+       noc::single_packet_program(src, dst, /*hide_links=*/false, dims),
+       "Scenario"});
+  inst.gates.push_back(
+      {"noc/stream",
+       noc::stream_program({noc::Flow{src, dst}}, /*hide_links=*/false, dims),
+       "Scenario"});
+
+  const std::map<std::string, double> table = noc::rate_table(rates, dims);
+  inst.probes.push_back(imc_probe(
+      "latency", serve::Verb::kBounds, "",
+      core::decorate_with_rates(
+          noc::single_packet_lts(src, dst, /*hide_links=*/false, dims),
+          table)));
+  // Arbitration races (two packets for one output port) are resolved
+  // uniformly, matching noc::delivery_throughput.
+  inst.probes.push_back(imc_probe(
+      "throughput", serve::Verb::kThroughput, "uniform:LO*",
+      core::decorate_with_rates(
+          noc::stream_lts({noc::Flow{src, dst}}, /*hide_links=*/false, dims),
+          table)));
+  return inst;
+}
+
+Instantiated instantiate_fame(const Point& p) {
+  check_axes(p, {"protocol", "topology", "mpi", "rounds", "base_rate"});
+  fame::PingPongConfig config;
+  const std::string protocol = p.get_word("protocol", "msi");
+  if (protocol == "msi") {
+    config.protocol = fame::Protocol::kMsi;
+  } else if (protocol == "mesi") {
+    config.protocol = fame::Protocol::kMesi;
+  } else {
+    throw SpecError("point " + p.id + ": unknown protocol '" + protocol + "'");
+  }
+  const std::string topology = p.get_word("topology", "bus");
+  if (topology == "bus") {
+    config.topology = fame::Topology::kBus;
+  } else if (topology == "ring") {
+    config.topology = fame::Topology::kRing;
+  } else if (topology == "crossbar") {
+    config.topology = fame::Topology::kCrossbar;
+  } else {
+    throw SpecError("point " + p.id + ": unknown topology '" + topology + "'");
+  }
+  const std::string impl = p.get_word("mpi", "eager");
+  if (impl == "eager") {
+    config.impl = fame::MpiImpl::kEager;
+  } else if (impl == "rendezvous") {
+    config.impl = fame::MpiImpl::kRendezvous;
+  } else {
+    throw SpecError("point " + p.id + ": unknown mpi mode '" + impl + "'");
+  }
+  config.rounds = static_cast<int>(p.get_long("rounds", 1));
+  check_range(p, "rounds", config.rounds, 1, 8);
+  config.base_rate = p.get_double("base_rate", 1.0);
+  if (!(config.base_rate > 0.0)) {
+    throw SpecError("point " + p.id + ": base_rate must be > 0");
+  }
+
+  Instantiated inst;
+  inst.gates.push_back(
+      {"fame/ping-pong", fame::pingpong_program(config), "PingPong"});
+  const auto rates = fame::topology_rates(config.topology, {"M", "S0", "S1"},
+                                          config.base_rate);
+  inst.probes.push_back(
+      imc_probe("latency", serve::Verb::kBounds, "",
+                core::decorate_with_rates(fame::pingpong_lts(config), rates)));
+  return inst;
+}
+
+Instantiated instantiate_xstream(const Point& p) {
+  check_axes(p, {"capacity", "items", "push_rate", "net_rate", "credit_rate",
+                 "pop_rate"});
+  xstream::QueueConfig cfg;
+  cfg.capacity = static_cast<int>(p.get_long("capacity", 2));
+  cfg.max_value = 0;  // payload values do not influence timing
+  check_range(p, "capacity", cfg.capacity, 1, 4);
+  const int items =
+      static_cast<int>(p.get_long("items", static_cast<long>(cfg.capacity)));
+  check_range(p, "items", items, 1, 8);
+  const std::map<std::string, double> rates = {
+      {"PUSH", p.get_double("push_rate", 1.0)},
+      {"NET", p.get_double("net_rate", 10.0)},
+      {"CREDIT", p.get_double("credit_rate", 10.0)},
+      {"POP", p.get_double("pop_rate", 2.0)}};
+  for (const auto& [gate, rate] : rates) {
+    if (!(rate > 0.0)) {
+      throw SpecError("point " + p.id + ": rate of " + gate + " must be > 0");
+    }
+  }
+
+  Instantiated inst;
+  inst.gates.push_back(
+      {"xstream/virtual-queue", xstream::virtual_queue_program(cfg),
+       "VirtualQueue"});
+  inst.gates.push_back({"xstream/drain",
+                        xstream::drain_scenario_program(cfg, items),
+                        "DrainScenario"});
+  inst.probes.push_back(imc_probe(
+      "latency", serve::Verb::kBounds, "",
+      core::decorate_with_rates(xstream::drain_scenario_lts(cfg, items),
+                                rates)));
+  // The continuous-queue throughput sub-model does not depend on the
+  // 'items' axis: points differing only in items share this payload, and
+  // the sweep must solve it exactly once (content-addressed cache).
+  inst.probes.push_back(
+      imc_probe("throughput", serve::Verb::kThroughput, "POP*",
+                core::decorate_with_rates(
+                    xstream::virtual_queue_lts_open(cfg), rates)));
+  return inst;
+}
+
+}  // namespace
+
+std::map<std::string, AxisValue> derived_quantities(
+    const std::string& family, const std::map<std::string, AxisValue>& axes) {
+  std::map<std::string, AxisValue> d;
+  if (family == "noc") {
+    long width = 2;
+    long height = 2;
+    if (const auto it = axes.find("width"); it != axes.end()) {
+      if (const long* l = std::get_if<long>(&it->second)) {
+        width = *l;
+      }
+    }
+    if (const auto it = axes.find("height"); it != axes.end()) {
+      if (const long* l = std::get_if<long>(&it->second)) {
+        height = *l;
+      }
+    }
+    d["nodes"] = width * height;
+  }
+  return d;
+}
+
+bool known_family(const std::string& family) {
+  return family == "noc" || family == "fame" || family == "xstream";
+}
+
+Instantiated instantiate(const Point& point) {
+  Instantiated inst;
+  if (point.family == "noc") {
+    inst = instantiate_noc(point);
+  } else if (point.family == "fame") {
+    inst = instantiate_fame(point);
+  } else if (point.family == "xstream") {
+    inst = instantiate_xstream(point);
+  } else {
+    throw SpecError("point " + point.id + ": unknown family '" + point.family +
+                    "' (known: noc, fame, xstream)");
+  }
+  for (const Probe& probe : inst.probes) {
+    inst.model_states += probe.imc_states;
+  }
+  return inst;
+}
+
+std::pair<double, double> parse_time_bounds(const std::string& body) {
+  const std::string marker = "time in [";
+  const std::size_t at = body.find(marker);
+  if (at == std::string::npos) {
+    throw std::runtime_error("no time bounds in '" + body + "'");
+  }
+  std::size_t pos = at + marker.size();
+  const auto take = [&]() {
+    std::size_t used = 0;
+    const double v = std::stod(body.substr(pos), &used);
+    pos += used;
+    return v;
+  };
+  try {
+    const double lo = take();
+    pos = body.find(',', pos);
+    if (pos == std::string::npos) {
+      throw std::runtime_error("comma");
+    }
+    ++pos;
+    const double hi = take();
+    return {lo, hi};
+  } catch (const std::exception&) {
+    throw std::runtime_error("malformed time bounds in '" + body + "'");
+  }
+}
+
+double parse_throughput(const std::string& body) {
+  const std::size_t eq = body.rfind('=');
+  if (eq == std::string::npos) {
+    throw std::runtime_error("no throughput value in '" + body + "'");
+  }
+  try {
+    std::size_t used = 0;
+    const std::string tail = body.substr(eq + 1);
+    const double v = std::stod(tail, &used);
+    (void)used;
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("malformed throughput in '" + body + "'");
+  }
+}
+
+Metrics derive_metrics(const Point& point, const Instantiated& inst,
+                       const std::map<std::string, std::string>& bodies) {
+  const auto body = [&](const std::string& name) -> const std::string& {
+    const auto it = bodies.find(name);
+    if (it == bodies.end()) {
+      throw std::runtime_error("point " + point.id + ": probe '" + name +
+                               "' has no result");
+    }
+    return it->second;
+  };
+  Metrics m;
+  m.states = static_cast<double>(inst.model_states);
+  const auto [lo, hi] = parse_time_bounds(body("latency"));
+  double total = 0.5 * (lo + hi);
+  m.latency_width = hi - lo;
+  if (point.family == "fame") {
+    // One serve probe: per-round latency and the round rate both derive
+    // from the served total ping-pong time.
+    const double rounds = static_cast<double>(point.get_long("rounds", 1));
+    m.latency = total / rounds;
+    m.throughput = total > 0.0 ? rounds / total : 0.0;
+  } else if (point.family == "xstream") {
+    const long capacity = point.get_long("capacity", 2);
+    const double items =
+        static_cast<double>(point.get_long("items", capacity));
+    m.latency = total / items;  // per-item transfer time under saturation
+    m.throughput = parse_throughput(body("throughput"));
+  } else {
+    m.latency = total;
+    m.throughput = parse_throughput(body("throughput"));
+  }
+  m.occupancy = m.latency * m.throughput;
+  return m;
+}
+
+}  // namespace multival::dse

@@ -1,0 +1,93 @@
+// Instantiation of design points: each point of a family expands into
+//   - gate models: the process programs the analyze lint must pass before
+//     any state space is generated (the pre-sweep gate), and
+//   - probes: serve-tier requests (verb + arg + .aut/.imc payload) whose
+//     results are folded into the point's metric vector.
+//
+// Families and axes (unset axes take the listed defaults):
+//
+//   noc      width=2 height=2 buffer=1 src=0 dst=nodes-1
+//            inject_rate=4.0 link_rate=2.0 eject_rate=4.0
+//            derived: nodes = width*height
+//            probes:  latency    = bounds(single-packet IMC), midpoint
+//                     throughput = throughput(stream IMC, uniform:LO*)
+//
+//   fame     protocol=msi topology=bus mpi=eager rounds=1 base_rate=1.0
+//            probes:  latency    = bounds(ping-pong IMC), midpoint / rounds
+//                     throughput = rounds / total time (derived)
+//
+//   xstream  capacity=2 items=capacity push_rate=1.0 net_rate=10.0
+//            credit_rate=10.0 pop_rate=2.0
+//            probes:  latency    = bounds(drain-scenario IMC) / items
+//                     throughput = throughput(virtual-queue IMC, POP*)
+//
+// All families derive occupancy by Little's law (latency x throughput) and
+// report the total payload state count as the model-complexity metric.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dse/grid.hpp"
+#include "proc/process.hpp"
+#include "serve/protocol.hpp"
+
+namespace multival::dse {
+
+/// One model the analyze lint gates before the point may be solved.
+struct GateModel {
+  std::string name;  ///< e.g. "noc/single-packet"
+  proc::Program program;
+  std::string entry;
+};
+
+/// One serve-tier request derived from a point.
+struct Probe {
+  std::string name;  ///< "latency" | "throughput"
+  serve::Verb verb = serve::Verb::kBounds;
+  std::string arg;
+  std::string payload;        ///< extended-.aut IMC text
+  std::size_t imc_states = 0; ///< payload size before closure
+};
+
+struct Instantiated {
+  std::vector<GateModel> gates;
+  std::vector<Probe> probes;
+  std::size_t model_states = 0;  ///< sum of probe payload state counts
+};
+
+/// The metric vector every family produces (see pareto.hpp for objectives).
+struct Metrics {
+  double latency = 0.0;     ///< expected end-to-end time (midpoint of bounds)
+  double latency_width = 0.0;  ///< certified scheduler-interval width
+  double throughput = 0.0;
+  double occupancy = 0.0;   ///< Little's law: latency * throughput
+  double states = 0.0;      ///< payload state count (model complexity)
+};
+
+/// Derived quantities available to constraints (grid.hpp expand()).
+[[nodiscard]] std::map<std::string, AxisValue> derived_quantities(
+    const std::string& family, const std::map<std::string, AxisValue>& axes);
+
+/// True for the supported families ("noc", "fame", "xstream").
+[[nodiscard]] bool known_family(const std::string& family);
+
+/// Builds gate models and probes for @p point.  Throws SpecError on an
+/// unknown family, unknown axis, or an axis value outside the generator's
+/// documented range.
+[[nodiscard]] Instantiated instantiate(const Point& point);
+
+/// Folds the solved probe bodies (keyed by probe name) into the metric
+/// vector.  Throws std::runtime_error when a body does not parse.
+[[nodiscard]] Metrics derive_metrics(
+    const Point& point, const Instantiated& inst,
+    const std::map<std::string, std::string>& bodies);
+
+/// Body parsers for the serve result grammar (exposed for tests):
+/// "reach in [a, b]; time in [c, d]" and "throughput(glob) = v".
+[[nodiscard]] std::pair<double, double> parse_time_bounds(
+    const std::string& body);
+[[nodiscard]] double parse_throughput(const std::string& body);
+
+}  // namespace multival::dse

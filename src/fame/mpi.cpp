@@ -115,7 +115,7 @@ std::vector<Step> round_steps(MpiImpl impl, int node) {
 
 }  // namespace
 
-lts::Lts pingpong_lts(const PingPongConfig& config) {
+Program pingpong_program(const PingPongConfig& config) {
   if (config.rounds < 1 || config.rounds > 64) {
     throw std::invalid_argument("pingpong: rounds must be in 1..64");
   }
@@ -147,6 +147,11 @@ lts::Lts pingpong_lts(const PingPongConfig& config) {
           all_ops,
           par(call("Mpi0", {lit(config.rounds)}), {kTok01, kTok10},
               call("Mpi1", {lit(config.rounds)}))));
+  return p;
+}
+
+lts::Lts pingpong_lts(const PingPongConfig& config) {
+  const Program p = pingpong_program(config);
   return lts::trim(generate(p, "PingPong")).lts;
 }
 

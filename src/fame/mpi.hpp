@@ -17,6 +17,7 @@
 #include "fame/coherence.hpp"
 #include "fame/topology.hpp"
 #include "lts/lts.hpp"
+#include "proc/process.hpp"
 
 namespace multival::fame {
 
@@ -31,6 +32,10 @@ struct PingPongConfig {
   int rounds = 2;          ///< ping-pong rounds executed before stopping
   double base_rate = 1.0;  ///< interconnect speed scale
 };
+
+/// Process program of the ping-pong scenario (entry "PingPong": mailbox
+/// line "M", scratch lines "S0"/"S1"); terminates after config.rounds.
+[[nodiscard]] proc::Program pingpong_program(const PingPongConfig& config);
 
 /// Functional LTS of the ping-pong scenario (mailbox line "M", scratch
 /// lines "S0"/"S1", token gates hidden); terminates after config.rounds.

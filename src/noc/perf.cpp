@@ -9,8 +9,6 @@
 
 namespace multival::noc {
 
-namespace {
-
 std::map<std::string, double> rate_table(const NocRates& rates,
                                          const MeshDims& dims) {
   std::map<std::string, double> t;
@@ -23,8 +21,6 @@ std::map<std::string, double> rate_table(const NocRates& rates,
   }
   return t;
 }
-
-}  // namespace
 
 double packet_latency(int src, int dst, const NocRates& rates,
                       const MeshDims& dims) {

@@ -2,6 +2,8 @@
 // delivery throughput under contention, via the IMC flow.
 #pragma once
 
+#include <map>
+#include <string>
 #include <vector>
 
 #include "noc/mesh.hpp"
@@ -13,6 +15,11 @@ struct NocRates {
   double link_rate = 2.0;    ///< one hop across a mesh link
   double eject_rate = 4.0;   ///< local delivery handshake
 };
+
+/// Gate -> rate decoration table for a mesh: every link gate maps to
+/// link_rate, every LI<r> to inject_rate and every LO<r> to eject_rate.
+[[nodiscard]] std::map<std::string, double> rate_table(
+    const NocRates& rates, const MeshDims& dims = {});
 
 /// Expected end-to-end latency of a single packet src -> dst (expected time
 /// to absorption of the single-packet scenario).

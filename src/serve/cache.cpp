@@ -1,5 +1,8 @@
 #include "serve/cache.hpp"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -203,7 +206,14 @@ std::optional<std::string> ResultCache::disk_load(const CacheKey& key) {
 
 void ResultCache::disk_store(const CacheKey& key, const std::string& payload) {
   const std::string path = disk_path(key);
-  const std::string tmp = path + ".tmp";
+  // Unique per process and per call: two caches racing to publish the same
+  // key (separate processes sharing disk_dir, or concurrent inserts) each
+  // write their own temporary and the rename()s land whole files — readers
+  // never observe a half-written entry under the final name.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const std::string tmp = path + ".tmp." +
+                          std::to_string(static_cast<long>(::getpid())) + "." +
+                          std::to_string(tmp_seq.fetch_add(1));
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
     if (!os) {

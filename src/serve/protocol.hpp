@@ -38,7 +38,10 @@
 //               bounds on reaching absorption, and on expected time
 //   check       payload = LTS, arg = mu-calculus formula; TRUE/FALSE at the
 //               initial state plus the satisfying-state count
-//   throughput  payload = IMC, arg = label glob; steady-state throughput
+//   throughput  payload = IMC, arg = label glob; steady-state throughput.
+//               A "uniform:" prefix on the glob accepts nondeterministic
+//               IMCs and resolves the residual choices with a uniform
+//               scheduler instead of rejecting (kInvalid) the model
 #pragma once
 
 #include <chrono>

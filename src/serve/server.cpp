@@ -5,11 +5,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <system_error>
 #include <stdexcept>
+#include <thread>
 
 namespace multival::serve {
 
@@ -176,20 +179,34 @@ void Server::write_response(const ConnPtr& conn, const Response& r) {
   }
 }
 
-Client::Client(const std::string& socket_path) {
+Client::Client(const std::string& socket_path,
+               std::chrono::milliseconds connect_timeout) {
   const sockaddr_un addr = make_address(socket_path);
-  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd_ < 0) {
-    throw std::runtime_error("serve client: socket() failed: " +
-                             std::system_category().message(errno));
-  }
-  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
-      0) {
-    const std::string err = std::system_category().message(errno);
+  const auto deadline = std::chrono::steady_clock::now() + connect_timeout;
+  std::chrono::milliseconds backoff{10};
+  for (;;) {
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      throw std::runtime_error("serve client: socket() failed: " +
+                               std::system_category().message(errno));
+    }
+    if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) == 0) {
+      return;
+    }
+    const int saved_errno = errno;
+    const std::string err = std::system_category().message(saved_errno);
     ::close(fd_);
     fd_ = -1;
-    throw std::runtime_error("serve client: cannot connect to " + socket_path +
-                             ": " + err);
+    // Only the two "server not up yet" races are worth retrying: the socket
+    // file not bound yet, or bound but the backlog not accepting yet.
+    const bool transient = saved_errno == ENOENT || saved_errno == ECONNREFUSED;
+    if (!transient || std::chrono::steady_clock::now() + backoff > deadline) {
+      throw std::runtime_error("serve client: cannot connect to " +
+                               socket_path + ": " + err);
+    }
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2, std::chrono::milliseconds{1000});
   }
 }
 

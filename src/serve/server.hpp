@@ -71,8 +71,14 @@ class Server {
 /// next response line on the connection is always the answer to call().
 class Client {
  public:
-  /// Connects; throws std::runtime_error on failure.
-  explicit Client(const std::string& socket_path);
+  /// Connects; throws std::runtime_error on failure.  A non-zero
+  /// @p connect_timeout keeps retrying transient connect() failures
+  /// (server still starting: ENOENT / ECONNREFUSED) with exponential
+  /// backoff — 10ms doubling up to 1s between attempts — until the timeout
+  /// elapses.  Zero means a single attempt.
+  explicit Client(const std::string& socket_path,
+                  std::chrono::milliseconds connect_timeout =
+                      std::chrono::milliseconds{0});
   ~Client();
 
   Client(const Client&) = delete;

@@ -170,8 +170,19 @@ Prepared prepare_check(const Request& r) {
 
 Prepared prepare_throughput(const Request& r) {
   auto m = parse_imc_payload(r);
-  require_deterministic(*m, "throughput");
-  if (r.arg.empty()) {
+  // An explicit "uniform:" prefix on the glob opts into resolving residual
+  // interactive nondeterminism by a uniform scheduler instead of rejecting
+  // the model (the policy the NoC contention models are analysed under).
+  // The prefix is part of the hashed arg, so the two policies never share a
+  // cache entry.
+  constexpr std::string_view kUniform = "uniform:";
+  const bool uniform = r.arg.rfind(kUniform, 0) == 0;
+  const std::string glob =
+      uniform ? r.arg.substr(kUniform.size()) : r.arg;
+  if (!uniform) {
+    require_deterministic(*m, "throughput");
+  }
+  if (glob.empty()) {
     reject("throughput needs a label glob", "pass the label pattern as arg");
   }
   Hasher h;
@@ -179,9 +190,10 @@ Prepared prepare_throughput(const Request& r) {
   h.str("throughput");
   h.str(r.arg);
   hash_append(h, *m);
-  const std::string glob = r.arg;
-  return Prepared{h.key(), [m, glob]() {
-    const core::ClosedModel closed = core::close_model(*m);
+  const imc::NondetPolicy policy =
+      uniform ? imc::NondetPolicy::kUniform : imc::NondetPolicy::kReject;
+  return Prepared{h.key(), [m, glob, policy]() {
+    const core::ClosedModel closed = core::close_model(*m, policy);
     const std::vector<double> pi = markov::steady_state(closed.ctmc);
     const double v = markov::throughput(closed.ctmc, pi, glob);
     return "throughput(" + glob + ") = " + format_double(v);

@@ -180,6 +180,38 @@ Program virtual_queue_program(const QueueConfig& cfg) {
   return p;
 }
 
+Program drain_scenario_program(const QueueConfig& cfg, int items) {
+  check_config(cfg);
+  if (items < 1 || items > 8) {
+    throw std::invalid_argument(
+        "drain_scenario: items must be in 1..8 (state-space bound)");
+  }
+  Program p = virtual_queue_program(cfg);
+  const Value v = cfg.max_value;
+  p.define("Source", {"n"},
+           choice({guard(evar("n") > lit(0),
+                         prefix("PUSH", {emit(lit(0))},
+                                call("Source", {evar("n") - lit(1)}))),
+                   guard(evar("n") == lit(0), stop())}));
+  p.define("Sink", {"n"},
+           choice({guard(evar("n") > lit(0),
+                         prefix("POP", {accept("x", 0, v)},
+                                call("Sink", {evar("n") - lit(1)}))),
+                   guard(evar("n") == lit(0), stop())}));
+  p.define("DrainScenario", {},
+           par(call("Source", {lit(items)}), {"PUSH"},
+               par(call("VirtualQueue"), {"POP"}, call("Sink", {lit(items)}))));
+  return p;
+}
+
+lts::Lts drain_scenario_lts(const QueueConfig& cfg, int items) {
+  const Program p = drain_scenario_program(cfg, items);
+  return core::timed_generation(
+      "xstream: drain scenario (cap " + std::to_string(cfg.capacity) +
+          ", items " + std::to_string(items) + ")",
+      [&] { return lts::trim(generate(p, "DrainScenario")).lts; });
+}
+
 lts::Lts virtual_queue_lts_open(const QueueConfig& cfg) {
   const Program p = virtual_queue_program(cfg);
   return core::timed_generation(

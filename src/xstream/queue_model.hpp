@@ -54,6 +54,14 @@ struct QueueConfig {
 /// performance decoration, which attaches rates to them).
 [[nodiscard]] lts::Lts virtual_queue_lts_open(const QueueConfig& cfg);
 
+/// Finite drain scenario (entry "DrainScenario"): a source pushes @p items
+/// packets through the virtual queue to a sink that pops them all, then the
+/// system stops.  Absorption time of the decorated IMC is the end-to-end
+/// transfer time of an @p items-packet burst.  All gates stay visible.
+[[nodiscard]] proc::Program drain_scenario_program(const QueueConfig& cfg,
+                                                   int items);
+[[nodiscard]] lts::Lts drain_scenario_lts(const QueueConfig& cfg, int items);
+
 /// Reference service specification: a plain FIFO of capacity
 /// cfg.capacity + 1 (pop FIFO plus the one-packet push stage) over the same
 /// value range.  The correct virtual queue must be branching-equivalent to

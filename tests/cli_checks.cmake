@@ -41,5 +41,11 @@ expect_usage_failure(serve --socket /tmp/x.sock --queue many)
 expect_usage_failure(client --socket /tmp/x.sock frobnicate)
 expect_usage_failure(client --socket /tmp/x.sock ping extra-arg)
 expect_usage_failure(client --socket /tmp/x.sock check only-one-arg)
+expect_usage_failure(dse --no-such-flag)                  # unknown flag
+expect_usage_failure(dse --builtin no-such-sweep)         # unknown builtin
+expect_usage_failure(dse -j banana)                       # bad number
+expect_usage_failure(dse --repeat 0)                      # must be >= 1
+expect_usage_failure(dse --spec)                          # flag missing value
+expect_usage_failure(dse --spec a.sweep --builtin smoke)  # two sources at once
 
 message(STATUS "all CLI usage checks passed")

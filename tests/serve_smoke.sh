@@ -27,17 +27,9 @@ EOF
 "$CLI" serve --socket "$SOCK" -j 2 &
 SERVER_PID=$!
 
-i=0
-while [ ! -S "$SOCK" ]; do
-  i=$((i + 1))
-  if [ "$i" -gt 100 ]; then
-    echo "server socket never appeared" >&2
-    exit 1
-  fi
-  sleep 0.1
-done
-
-"$CLI" client --socket "$SOCK" ping | grep -q pong
+# The client's built-in exponential-backoff connect retry replaces any
+# sleep-and-poll loop: the first call waits for the socket to appear.
+"$CLI" client --socket "$SOCK" --retry-ms 10000 ping | grep -q pong
 
 FIRST=$("$CLI" client --socket "$SOCK" reach "$DIR/model.imc")
 SECOND=$("$CLI" client --socket "$SOCK" reach "$DIR/model.imc")
