@@ -19,16 +19,21 @@
 //   multival_cli check-file <file.aut> <props.mcl>
 //       props.mcl: one "name: formula" per line; '#' comments
 //   multival_cli dot   <file.aut> [out.dot]
-//   multival_cli serve --socket <path> [-j N] [--queue N] [--deadline MS]
-//       [--cache-mb N] [--cache-dir DIR]
-//   multival_cli client --socket <path> <ping|stats|shutdown>
-//   multival_cli client --socket <path> reach <file.imc> [time-bound]
-//   multival_cli client --socket <path> bounds <file.imc>
-//   multival_cli client --socket <path> check <file.aut> '<formula>'
-//   multival_cli client --socket <path> throughput <file.imc> <label-glob>
+//   multival_cli serve --socket <path|host:port> [-j N] [--queue N]
+//       [--deadline MS] [--cache-mb N] [--cache-dir DIR]
+//       (endpoints whose last ':'-field is a decimal port are TCP;
+//        port 0 binds an ephemeral port, printed on startup)
+//   multival_cli client --socket <endpoint> <ping|stats|shutdown>
+//   multival_cli client --socket <endpoint> reach <file.imc> [time-bound]
+//   multival_cli client --socket <endpoint> bounds <file.imc>
+//   multival_cli client --socket <endpoint> check <file.aut> '<formula>'
+//   multival_cli client --socket <endpoint> throughput <file.imc>
+//       <label-glob>
 //   multival_cli dse [--spec <file> | --builtin <default|smoke>] [-j N]
-//       [--socket PATH [--retry-ms MS]] [--deadline MS] [--repeat N]
+//       [--socket EP[,EP...] [--retry-ms MS]] [--deadline MS] [--repeat N]
 //       [--json PATH] [--csv PATH] [--no-timing]
+//       (a comma-separated --socket list routes probes over the replicas
+//        by content hash — see serve::Router)
 #include <charconv>
 #include <cmath>
 #include <fstream>
@@ -555,7 +560,7 @@ int cmd_serve(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--socket" && i + 1 < argc) {
-      opts.socket_path = argv[++i];
+      opts.endpoint = argv[++i];
     } else if (a == "-j" && i + 1 < argc) {
       opts.service.workers = parse_unsigned(argv[++i], "worker count");
     } else if (a == "--queue" && i + 1 < argc) {
@@ -573,25 +578,27 @@ int cmd_serve(int argc, char** argv) {
       throw UsageError("serve: unknown flag " + a);
     }
   }
-  if (opts.socket_path.empty()) {
-    throw UsageError("serve: --socket <path> is required");
+  if (opts.endpoint.empty()) {
+    throw UsageError("serve: --socket <path|host:port> is required");
   }
-  const std::string path = opts.socket_path;
   serve::Server server(std::move(opts));
-  std::cout << "serving on " << path << "\n" << std::flush;
+  // Print the *bound* endpoint: for "host:0" this is the ephemeral port the
+  // kernel picked, which is what clients must connect to.
+  std::cout << "serving on " << server.bound_endpoint().to_string() << "\n"
+            << std::flush;
   server.run();
   server.service().metrics().to_table().print(std::cout);
   return 0;
 }
 
 int cmd_client(int argc, char** argv) {
-  std::string socket_path;
+  std::string endpoint;
   std::chrono::milliseconds connect_timeout{0};
   std::vector<std::string> rest;
   for (int i = 2; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "--socket" && i + 1 < argc) {
-      socket_path = argv[++i];
+      endpoint = argv[++i];
     } else if (a == "--retry-ms" && i + 1 < argc) {
       connect_timeout =
           std::chrono::milliseconds(parse_unsigned(argv[++i], "retry budget"));
@@ -601,8 +608,9 @@ int cmd_client(int argc, char** argv) {
       rest.push_back(a);
     }
   }
-  if (socket_path.empty() || rest.empty()) {
-    throw UsageError("client: --socket <path> and a verb are required");
+  if (endpoint.empty() || rest.empty()) {
+    throw UsageError("client: --socket <path|host:port> and a verb are "
+                     "required");
   }
   serve::Request request;
   request.id = 1;
@@ -649,7 +657,7 @@ int cmd_client(int argc, char** argv) {
       request.arg = rest[2];
       break;
   }
-  serve::Client client(socket_path, connect_timeout);
+  serve::Client client(endpoint, connect_timeout);
   const serve::Response response = client.call(request);
   if (response.status == serve::Status::kOk) {
     std::cout << response.body << "\n";
@@ -786,19 +794,19 @@ int usage() {
          "  multival_cli solve <file.imc> [--stats]\n"
          "  multival_cli check-file <file.aut> <props.mcl>\n"
          "  multival_cli dot   <file.aut> [out.dot]\n"
-         "  multival_cli serve --socket <path> [-j N] [--queue N] "
+         "  multival_cli serve --socket <path|host:port> [-j N] [--queue N] "
          "[--deadline MS] [--cache-mb N] [--cache-dir DIR]\n"
-         "  multival_cli client --socket <path> [--retry-ms MS] "
+         "  multival_cli client --socket <endpoint> [--retry-ms MS] "
          "<ping|stats|shutdown>\n"
-         "  multival_cli client --socket <path> reach <file.imc> "
+         "  multival_cli client --socket <endpoint> reach <file.imc> "
          "[time-bound]\n"
-         "  multival_cli client --socket <path> bounds <file.imc>\n"
-         "  multival_cli client --socket <path> check <file.aut> "
+         "  multival_cli client --socket <endpoint> bounds <file.imc>\n"
+         "  multival_cli client --socket <endpoint> check <file.aut> "
          "'<formula>'\n"
-         "  multival_cli client --socket <path> throughput <file.imc> "
+         "  multival_cli client --socket <endpoint> throughput <file.imc> "
          "<label-glob>\n"
          "  multival_cli dse   [--spec <file> | --builtin <default|smoke>] "
-         "[-j N] [--socket PATH [--retry-ms MS]] [--deadline MS] "
+         "[-j N] [--socket EP[,EP...] [--retry-ms MS]] [--deadline MS] "
          "[--repeat N] [--json PATH] [--csv PATH] [--no-timing]\n";
   return 2;
 }

@@ -11,6 +11,7 @@
 
 #include "analyze/analyze.hpp"
 #include "core/parallel.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "serve/solvers.hpp"
 
@@ -30,6 +31,7 @@ struct Slot {
   std::size_t point = 0;
   std::size_t probe = 0;
   serve::Request request;
+  serve::CacheKey key;  ///< content hash, reused for replica routing
 };
 
 std::vector<std::string> blocking_diagnostics(const analyze::Analysis& a) {
@@ -87,12 +89,31 @@ void dispatch_in_process(const DriverOptions& options,
   }
 }
 
+std::vector<std::string> split_endpoints(const std::string& csv) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= csv.size(); ++i) {
+    if (i == csv.size() || csv[i] == ',') {
+      if (i > start) {
+        out.push_back(csv.substr(start, i - start));
+      }
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
 void dispatch_socket(const DriverOptions& options, std::vector<Slot>& slots,
                      std::vector<ProbeResult*>& results) {
   const unsigned workers =
       options.workers != 0 ? options.workers : core::parallel_threads();
   const unsigned threads = static_cast<unsigned>(std::min<std::size_t>(
       std::max(1u, workers), std::max<std::size_t>(slots.size(), 1)));
+  // One shared ring (and shared replica-health state), one RoutedClient —
+  // hence one connection per replica — per worker thread.  With a single
+  // endpoint the ring is trivial and this degrades to the old direct path.
+  const auto router =
+      std::make_shared<serve::Router>(split_endpoints(options.socket));
   for (unsigned pass = 0; pass < std::max(1u, options.repeat); ++pass) {
     std::atomic<std::size_t> next{0};
     std::vector<std::thread> pool;
@@ -102,11 +123,12 @@ void dispatch_socket(const DriverOptions& options, std::vector<Slot>& slots,
     for (unsigned t = 0; t < threads; ++t) {
       pool.emplace_back([&] {
         try {
-          serve::Client client(options.socket, options.connect_timeout);
+          serve::RoutedClient client(router, options.connect_timeout);
           for (std::size_t i = next.fetch_add(1); i < slots.size();
                i = next.fetch_add(1)) {
             const auto t0 = Clock::now();
-            serve::Response response = client.call(slots[i].request);
+            serve::Response response =
+                client.call(slots[i].request, slots[i].key);
             ProbeResult* pr = results[i];
             pr->status = response.status;
             pr->body = std::move(response.body);
@@ -254,6 +276,7 @@ SweepResult run_sweep(const SweepSpec& spec, const DriverOptions& options) {
       pr.verb = std::string(serve::to_string(probe.verb));
       pr.imc_states = probe.imc_states;
       const serve::CacheKey key = serve::prepare_request(slot.request).key;
+      slot.key = key;
       pr.key = key.hex();
       pr.duplicate = !seen.insert(key).second;
       out.points[i].probes.push_back(std::move(pr));

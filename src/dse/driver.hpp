@@ -8,8 +8,9 @@
 //     sub-models coalesce and hit the content-addressed cache, and the
 //     service counters (solves, cache hits, shed...) are reported in the
 //     SweepResult;
-//   - socket (DriverOptions::socket non-empty): one serve::Client per
-//     driver worker thread against a running `multival_cli serve` instance;
+//   - socket (DriverOptions::socket non-empty): one serve::RoutedClient per
+//     driver worker thread against one or more running `multival_cli serve`
+//     replicas (Unix or TCP, comma-separated), routed by content hash;
 //     service counters live server-side and are not included.
 //
 // Determinism contract: expansion order, probe content hashes, solve
@@ -36,7 +37,11 @@ struct DriverOptions {
   /// Service worker threads (in-process) or client threads (socket);
   /// 0 = core::parallel_threads().
   unsigned workers = 0;
-  /// Non-empty: evaluate over this Unix socket instead of in-process.
+  /// Non-empty: evaluate over the serve transport instead of in-process.
+  /// One endpoint (Unix path or "host:port"), or a comma-separated replica
+  /// list — probes are then routed by their content hash over the
+  /// consistent-hash ring (serve::Router), so duplicate sub-models land on
+  /// the replica that owns their cache entry.
   std::string socket;
   /// Waiting budget when connecting to --socket (exponential backoff).
   std::chrono::milliseconds connect_timeout{5000};

@@ -49,8 +49,13 @@ AxisValue parse_axis_value(const std::string& text) {
     if (pos == text.size()) {
       return d;
     }
-  } catch (const std::exception&) {
-    // fall through to the word case
+  } catch (const std::out_of_range&) {
+    // The token *is* numeric — it parsed, it just does not fit a double
+    // ("1e999").  Silently demoting it to a word axis value would make the
+    // sweep enumerate it as a string; reject instead.
+    throw SpecError("numeric axis value '" + text + "' is out of range");
+  } catch (const std::invalid_argument&) {
+    // Not numeric at all: fall through to the word case.
   }
   return text;
 }
@@ -242,7 +247,12 @@ SweepSpec parse_sweep_spec(const std::string& text) {
         if (item.empty()) {
           fail(lineno, "empty axis value");
         }
-        const AxisValue v = parse_axis_value(item);
+        AxisValue v;
+        try {
+          v = parse_axis_value(item);
+        } catch (const SpecError& e) {
+          fail(lineno, e.what());
+        }
         if (std::find(axis.values.begin(), axis.values.end(), v) !=
             axis.values.end()) {
           fail(lineno, "duplicate axis value '" + item + "'");

@@ -1,9 +1,12 @@
 #include "serve/cache.hpp"
 
+#include <dirent.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
 #include <cstdio>
+#include <ctime>
 #include <fstream>
 #include <sstream>
 
@@ -16,6 +19,10 @@ namespace {
 // Amortised cost of the list node, map slot and key bookkeeping per entry,
 // so capacity_bytes also bounds caches full of tiny payloads.
 constexpr std::size_t kEntryOverhead = 128;
+
+// A temporary younger than this may belong to a live writer (another
+// process sharing disk_dir mid-publish); only older orphans are swept.
+constexpr std::time_t kTmpSweepAgeSeconds = 60;
 
 constexpr char kMagic[4] = {'M', 'V', 'C', 'R'};
 constexpr std::uint8_t kVersion = 1;
@@ -76,7 +83,39 @@ bool get_u64_be(std::istream& is, std::uint64_t& out) {
 
 ResultCache::ResultCache() : ResultCache(Options{}) {}
 
-ResultCache::ResultCache(Options opts) : opts_(std::move(opts)) {}
+ResultCache::ResultCache(Options opts) : opts_(std::move(opts)) {
+  if (!opts_.disk_dir.empty()) {
+    sweep_stale_tmp();
+  }
+}
+
+// A crash between writing "<key>.mvcr.tmp.<pid>.<seq>" and the rename()
+// leaks the temporary forever (nothing ever refers to that name again).
+// Opening the cache is the natural point to collect such orphans: any tmp
+// file old enough that its writer cannot still be mid-publish is deleted.
+void ResultCache::sweep_stale_tmp() {
+  DIR* dir = ::opendir(opts_.disk_dir.c_str());
+  if (dir == nullptr) {
+    return;  // best-effort, like the rest of the disk tier
+  }
+  const std::time_t now = std::time(nullptr);
+  while (const dirent* e = ::readdir(dir)) {
+    const std::string name = e->d_name;
+    if (name.find(".mvcr.tmp.") == std::string::npos) {
+      continue;
+    }
+    const std::string path = opts_.disk_dir + "/" + name;
+    struct stat st = {};
+    if (::stat(path.c_str(), &st) != 0 ||
+        now - st.st_mtime < kTmpSweepAgeSeconds) {
+      continue;
+    }
+    if (std::remove(path.c_str()) == 0) {
+      ++stats_.tmp_swept;
+    }
+  }
+  ::closedir(dir);
+}
 
 std::optional<std::string> ResultCache::lookup(const CacheKey& key) {
   std::lock_guard<std::mutex> lock(mu_);

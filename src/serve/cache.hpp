@@ -48,6 +48,7 @@ class ResultCache {
     std::uint64_t disk_hits = 0;   ///< hits that came from the disk tier
     std::uint64_t disk_writes = 0;
     std::uint64_t disk_errors = 0; ///< unreadable / corrupt disk entries
+    std::uint64_t tmp_swept = 0;   ///< orphaned *.tmp.* files removed on open
   };
 
   ResultCache();
@@ -73,6 +74,7 @@ class ResultCache {
 
   void insert_locked(const CacheKey& key, std::string payload);
   void evict_locked();
+  void sweep_stale_tmp();
   [[nodiscard]] std::string disk_path(const CacheKey& key) const;
   [[nodiscard]] std::optional<std::string> disk_load(const CacheKey& key);
   void disk_store(const CacheKey& key, const std::string& payload);

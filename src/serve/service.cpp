@@ -41,6 +41,9 @@ core::Table ServiceMetrics::to_table() const {
   t.add_row({"cache hits", std::to_string(cache_hits)});
   t.add_row({"solves", std::to_string(solves)});
   t.add_row({"solve errors", std::to_string(solve_errors)});
+  t.add_row({"batches / flights batched", std::to_string(batches) + " / " +
+                                              std::to_string(batched)});
+  t.add_row({"max batch size", std::to_string(max_batch)});
   const std::uint64_t keyed = cache_hits + coalesced + solves;
   t.add_row({"cache hit rate",
              keyed == 0 ? "n/a"
@@ -61,6 +64,7 @@ core::Table ServiceMetrics::to_table() const {
              std::to_string(cache.disk_hits) + " / " +
                  std::to_string(cache.disk_writes) + " / " +
                  std::to_string(cache.disk_errors)});
+  t.add_row({"cache tmp files swept", std::to_string(cache.tmp_swept)});
   return t;
 }
 
@@ -173,6 +177,9 @@ void Service::submit_async(Request r, std::function<void(Response)> done) {
       auto flight = std::make_shared<Flight>();
       flight->key = prepared.key;
       flight->run = std::move(prepared.run);
+      flight->batch_key = prepared.batch_key;
+      flight->setup = std::move(prepared.setup);
+      flight->run_shared = std::move(prepared.run_shared);
       flight->waiters.push_back(Waiter{r.id, now, deadline, std::move(done)});
       in_flight_.emplace(prepared.key, flight);
       queue_.push_back(std::move(flight));
@@ -200,7 +207,10 @@ Response Service::evaluate(const Request& r) {
 
 void Service::worker_loop() {
   for (;;) {
-    FlightPtr flight;
+    // Dequeue one flight; if it is batchable, sweep the queue for every
+    // other flight of the same batch (same model, same verb family) so the
+    // shared per-model state is built once for the whole group.
+    std::vector<FlightPtr> group;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
@@ -210,28 +220,49 @@ void Service::worker_loop() {
         }
         continue;
       }
-      flight = queue_.front();
+      group.push_back(queue_.front());
       queue_.pop_front();
+      const CacheKey batch_key = group.front()->batch_key;
+      if (batch_key != CacheKey{} && opts_.max_batch > 1) {
+        for (auto it = queue_.begin();
+             it != queue_.end() && group.size() < opts_.max_batch;) {
+          if ((*it)->batch_key == batch_key) {
+            group.push_back(*it);
+            it = queue_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
     }
     if (opts_.pre_solve_hook) {
-      opts_.pre_solve_hook(flight->key);
+      for (const FlightPtr& flight : group) {
+        opts_.pre_solve_hook(flight->key);
+      }
     }
 
-    // Deadline check at solve start: expired waiters get kTimeout; if no
-    // live waiter remains the solve is skipped (shed work, not just shed
-    // queueing).
+    // Deadline check at solve start: expired waiters get kTimeout; a flight
+    // with no live waiter left is dropped from the group (shed work, not
+    // just shed queueing).
     const auto start = Clock::now();
     std::vector<Waiter> expired;
-    bool skip = false;
+    std::vector<FlightPtr> live;
     {
       std::lock_guard<std::mutex> lock(mu_);
-      auto& waiters = flight->waiters;
-      for (auto it = waiters.begin(); it != waiters.end();) {
-        if (it->deadline < start) {
-          expired.push_back(std::move(*it));
-          it = waiters.erase(it);
+      for (FlightPtr& flight : group) {
+        auto& waiters = flight->waiters;
+        for (auto it = waiters.begin(); it != waiters.end();) {
+          if (it->deadline < start) {
+            expired.push_back(std::move(*it));
+            it = waiters.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        if (waiters.empty()) {
+          in_flight_.erase(flight->key);
         } else {
-          ++it;
+          live.push_back(std::move(flight));
         }
       }
       timed_out_ += expired.size();
@@ -239,58 +270,80 @@ void Service::worker_loop() {
         record_sample(queue_wait_ms_, ms_between(w.submitted, start));
         record_sample(latency_ms_, ms_between(w.submitted, start));
       }
-      if (waiters.empty()) {
-        in_flight_.erase(flight->key);
-        skip = true;
+      if (live.size() >= 2) {
+        ++batches_;
+        batched_ += live.size();
       }
+      max_batch_ = std::max<std::uint64_t>(max_batch_, live.size());
     }
     for (Waiter& w : expired) {
       w.done(Response{w.id, Status::kTimeout,
                       "deadline expired before the solve started"});
     }
-    if (skip) {
+    if (live.empty()) {
       continue;
     }
 
-    std::string body;
-    bool ok = true;
-    try {
-      body = flight->run();
-    } catch (const std::exception& e) {
-      ok = false;
-      body = e.what();
-    }
-    const auto end = Clock::now();
-
-    std::vector<Waiter> waiters;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++solves_;
-      if (ok) {
-        cache_.insert(flight->key, body);
-      } else {
-        ++solve_errors_;
+    // Shared setup runs once per sweep; a setup failure fails every flight
+    // of the group with the same error a solo run() would have raised.
+    const bool batched_run = static_cast<bool>(live.front()->run_shared);
+    std::shared_ptr<void> shared;
+    std::string setup_error;
+    if (batched_run) {
+      try {
+        shared = live.front()->setup();
+      } catch (const std::exception& e) {
+        setup_error = e.what();
       }
-      // Publishing the result and retiring the flight happen atomically
-      // with respect to submit_async's cache-or-coalesce check, so a
-      // concurrent identical request either joined this flight or will hit
-      // the cache — never a second solve.
-      in_flight_.erase(flight->key);
-      waiters = std::move(flight->waiters);
-      record_sample(solve_ms_, ms_between(start, end));
-      for (const Waiter& w : waiters) {
-        record_sample(queue_wait_ms_, ms_between(w.submitted, start));
-        record_sample(latency_ms_, ms_between(w.submitted, end));
-        if (ok) {
-          ++completed_ok_;
-        } else {
-          ++failed_;
+    }
+
+    for (FlightPtr& flight : live) {
+      const auto t0 = Clock::now();
+      std::string body;
+      bool ok = true;
+      if (!setup_error.empty()) {
+        ok = false;
+        body = setup_error;
+      } else {
+        try {
+          body = batched_run ? flight->run_shared(shared.get()) : flight->run();
+        } catch (const std::exception& e) {
+          ok = false;
+          body = e.what();
         }
       }
-    }
-    const Status status = ok ? Status::kOk : Status::kError;
-    for (Waiter& w : waiters) {
-      w.done(Response{w.id, status, body});
+      const auto end = Clock::now();
+
+      std::vector<Waiter> waiters;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++solves_;
+        if (ok) {
+          cache_.insert(flight->key, body);
+        } else {
+          ++solve_errors_;
+        }
+        // Publishing the result and retiring the flight happen atomically
+        // with respect to submit_async's cache-or-coalesce check, so a
+        // concurrent identical request either joined this flight or will
+        // hit the cache — never a second solve.
+        in_flight_.erase(flight->key);
+        waiters = std::move(flight->waiters);
+        record_sample(solve_ms_, ms_between(t0, end));
+        for (const Waiter& w : waiters) {
+          record_sample(queue_wait_ms_, ms_between(w.submitted, start));
+          record_sample(latency_ms_, ms_between(w.submitted, end));
+          if (ok) {
+            ++completed_ok_;
+          } else {
+            ++failed_;
+          }
+        }
+      }
+      const Status status = ok ? Status::kOk : Status::kError;
+      for (Waiter& w : waiters) {
+        w.done(Response{w.id, status, body});
+      }
     }
   }
 }
@@ -312,6 +365,9 @@ ServiceMetrics Service::metrics() const {
     m.cache_hits = cache_hits_;
     m.solves = solves_;
     m.solve_errors = solve_errors_;
+    m.batches = batches_;
+    m.batched = batched_;
+    m.max_batch = max_batch_;
     queue_wait = queue_wait_ms_;
     solve = solve_ms_;
     latency = latency_ms_;

@@ -21,6 +21,15 @@
 // remains the solve is skipped entirely.  A result that completes after a
 // waiter's deadline is still delivered (it is already paid for).
 //
+// Batching: when the dequeued flight is batchable (Prepared::batch_key is
+// non-zero), the worker pulls every queued flight with the same batch_key
+// (up to ServiceOptions::max_batch) and answers the whole group in one
+// sweep — the shared per-model state (the closed CTMC with its cached
+// uniformised DTMC) is built once, each flight is solved against it, and
+// each result is published the moment it is ready.  Answers are
+// byte-identical to unbatched solves; batch-size telemetry is in
+// ServiceMetrics (batches / batched / max_batch).
+//
 // Per-request metrics (queue wait, solve time, end-to-end latency with
 // p50/p99, cache/coalescing/shed counters) are surfaced as a core::report
 // table via ServiceMetrics::to_table().
@@ -52,6 +61,9 @@ struct ServiceOptions {
   std::size_t queue_capacity = 256;
   /// Deadline applied to requests that do not carry their own.
   std::chrono::milliseconds default_deadline{10000};
+  /// Largest group of queued same-model flights a worker answers in one
+  /// sweep (see Prepared::batch_key); 1 disables batching.
+  std::size_t max_batch = 16;
   ResultCache::Options cache;
   /// Test seam: invoked by a worker after dequeuing a flight, before the
   /// deadline check and solve.  Lets tests hold a worker to build up
@@ -71,6 +83,9 @@ struct ServiceMetrics {
   std::uint64_t cache_hits = 0;
   std::uint64_t solves = 0;        ///< solver invocations (≤ distinct keys)
   std::uint64_t solve_errors = 0;
+  std::uint64_t batches = 0;       ///< multi-flight sweeps (size >= 2)
+  std::uint64_t batched = 0;       ///< flights answered inside such sweeps
+  std::uint64_t max_batch = 0;     ///< largest sweep observed
   double queue_wait_p50_ms = 0.0;
   double queue_wait_p99_ms = 0.0;
   double solve_p50_ms = 0.0;
@@ -123,6 +138,9 @@ class Service {
   struct Flight {
     CacheKey key;
     std::function<std::string()> run;
+    CacheKey batch_key;  ///< zero = not batchable
+    std::function<std::shared_ptr<void>()> setup;
+    std::function<std::string(void*)> run_shared;
     std::vector<Waiter> waiters;
   };
   using FlightPtr = std::shared_ptr<Flight>;
@@ -151,6 +169,9 @@ class Service {
   std::uint64_t cache_hits_ = 0;
   std::uint64_t solves_ = 0;
   std::uint64_t solve_errors_ = 0;
+  std::uint64_t batches_ = 0;
+  std::uint64_t batched_ = 0;
+  std::uint64_t max_batch_ = 0;
   std::vector<double> queue_wait_ms_;
   std::vector<double> solve_ms_;
   std::vector<double> latency_ms_;

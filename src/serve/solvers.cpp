@@ -88,6 +88,13 @@ std::vector<bool> absorbing_states(const markov::Ctmc& c) {
   return target;
 }
 
+// Shared state of a reach batch: every time bound over one model reuses
+// the closed CTMC (whose uniformised DTMC/CSR matrix is cached inside
+// markov::Ctmc, so the expensive build happens once per sweep).
+struct ReachShared {
+  core::ClosedModel closed;
+};
+
 Prepared prepare_reach(const Request& r) {
   auto m = parse_imc_payload(r);
   require_deterministic(*m, "reach");
@@ -100,8 +107,18 @@ Prepared prepare_reach(const Request& r) {
   h.str("reach");
   h.str(bounded ? format_double(t) : "");
   hash_append(h, *m);
-  return Prepared{h.key(), [m, bounded, t]() {
-    const core::ClosedModel closed = core::close_model(*m);
+  Prepared p;
+  p.key = h.key();
+  Hasher hb;
+  hb.str(kKeySchema);
+  hb.str("batch-reach");
+  hash_append(hb, *m);
+  p.batch_key = hb.key();
+  p.setup = [m]() -> std::shared_ptr<void> {
+    return std::make_shared<ReachShared>(ReachShared{core::close_model(*m)});
+  };
+  p.run_shared = [bounded, t](void* shared) {
+    const auto& closed = static_cast<ReachShared*>(shared)->closed;
     if (bounded) {
       const double p = markov::absorption_probability_by(closed.ctmc, t);
       return "P[absorbed by t=" + format_double(t) +
@@ -111,12 +128,18 @@ Prepared prepare_reach(const Request& r) {
     const std::vector<double> per_state =
         markov::reachability_probability(closed.ctmc, target);
     const std::vector<double> pi0 = closed.ctmc.initial_distribution();
-    double p = 0.0;
+    double prob = 0.0;
     for (std::size_t s = 0; s < per_state.size(); ++s) {
-      p += pi0[s] * per_state[s];
+      prob += pi0[s] * per_state[s];
     }
-    return "P[reach absorbing] = " + format_double(p);
-  }};
+    return "P[reach absorbing] = " + format_double(prob);
+  };
+  // The solo path runs the exact batch code against a one-flight batch, so
+  // batched and unbatched answers are byte-identical by construction.
+  p.run = [setup = p.setup, run_shared = p.run_shared]() {
+    return run_shared(setup().get());
+  };
+  return p;
 }
 
 Prepared prepare_bounds(const Request& r) {
@@ -168,6 +191,14 @@ Prepared prepare_check(const Request& r) {
   }};
 }
 
+// Shared state of a throughput batch: one closed chain and one steady-state
+// solve answer every label glob in the sweep.
+struct ThroughputShared {
+  core::ClosedModel closed;
+  std::vector<double> pi;
+  bool have_pi = false;
+};
+
 Prepared prepare_throughput(const Request& r) {
   auto m = parse_imc_payload(r);
   // An explicit "uniform:" prefix on the glob opts into resolving residual
@@ -192,12 +223,34 @@ Prepared prepare_throughput(const Request& r) {
   hash_append(h, *m);
   const imc::NondetPolicy policy =
       uniform ? imc::NondetPolicy::kUniform : imc::NondetPolicy::kReject;
-  return Prepared{h.key(), [m, glob, policy]() {
-    const core::ClosedModel closed = core::close_model(*m, policy);
-    const std::vector<double> pi = markov::steady_state(closed.ctmc);
-    const double v = markov::throughput(closed.ctmc, pi, glob);
+  Prepared p;
+  p.key = h.key();
+  // The closed chain (and its steady state) depends on the scheduler
+  // policy, so batches never mix the two.
+  Hasher hb;
+  hb.str(kKeySchema);
+  hb.str(uniform ? "batch-throughput-uniform" : "batch-throughput");
+  hash_append(hb, *m);
+  p.batch_key = hb.key();
+  p.setup = [m, policy]() -> std::shared_ptr<void> {
+    return std::make_shared<ThroughputShared>(
+        ThroughputShared{core::close_model(*m, policy), {}, false});
+  };
+  p.run_shared = [glob](void* shared) {
+    auto& sh = *static_cast<ThroughputShared*>(shared);
+    // Batches are swept by one worker, so plain lazy init is safe; every
+    // glob over the same model reuses one steady-state solve.
+    if (!sh.have_pi) {
+      sh.pi = markov::steady_state(sh.closed.ctmc);
+      sh.have_pi = true;
+    }
+    const double v = markov::throughput(sh.closed.ctmc, sh.pi, glob);
     return "throughput(" + glob + ") = " + format_double(v);
-  }};
+  };
+  p.run = [setup = p.setup, run_shared = p.run_shared]() {
+    return run_shared(setup().get());
+  };
+  return p;
 }
 
 }  // namespace

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -44,9 +45,26 @@ class InvalidRequest : public std::runtime_error {
 };
 
 /// A parsed, keyed request ready to run on any worker thread.
+///
+/// Batching: requests that share the *model* (but differ in argument — e.g.
+/// reach with several time bounds, throughput with several label globs)
+/// carry the same non-zero batch_key.  The service groups queued flights by
+/// batch_key and answers a whole group in one sweep: setup() builds the
+/// shared per-model state (the closed CTMC with its cached uniformised
+/// DTMC/CSR matrix) exactly once, then each flight's run_shared() reuses
+/// it.  Flights without batch support leave batch_key zero and are solved
+/// through run().
 struct Prepared {
   CacheKey key;
   std::function<std::string()> run;  ///< deterministic; throws on failure
+
+  CacheKey batch_key;  ///< zero = not batchable
+  /// Builds the state shared by every flight of the batch (e.g. the closed
+  /// CTMC).  Run once per sweep, on the solving worker.
+  std::function<std::shared_ptr<void>()> setup;
+  /// Solves this flight against the shared state; deterministic, and
+  /// byte-identical to run() on the same request.
+  std::function<std::string(void*)> run_shared;
 };
 
 /// Parses and keys @p r.  Throws InvalidRequest (with MV0xx diagnostics) on

@@ -71,6 +71,23 @@ TEST(DseGrid, AxisValuesKeepTheirType) {
   EXPECT_EQ(dse::to_string(dse::parse_axis_value("mesi")), "mesi");
 }
 
+TEST(DseGrid, OutOfRangeNumericAxisValueIsRejectedNotDemotedToWord) {
+  // "1e999" parses as a number but overflows double; it must be rejected,
+  // not silently enumerated as a *string* axis value.
+  EXPECT_THROW((void)dse::parse_axis_value("1e999"), dse::SpecError);
+  try {
+    (void)dse::parse_sweep_spec(
+        "space noc\n"
+        "  axis width = 2, 1e999\n"
+        "end\n");
+    FAIL() << "expected SpecError";
+  } catch (const dse::SpecError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    EXPECT_NE(what.find("out of range"), std::string::npos) << what;
+  }
+}
+
 // --- grid: expansion -----------------------------------------------------
 
 TEST(DseGrid, ExpansionOrderIsLastAxisFastest) {

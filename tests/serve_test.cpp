@@ -1,17 +1,23 @@
 // Tests for the src/serve subsystem: canonical content hashing, the
-// two-tier result cache, the wire protocol, the coalescing job scheduler
-// (bitwise-identical served results, backpressure, deadlines) and the
-// Unix-domain-socket front end.
+// two-tier result cache, the wire protocol, the coalescing/batching job
+// scheduler (bitwise-identical served results, backpressure, deadlines),
+// the Unix-domain and TCP socket front ends, the client receive deadline
+// and the consistent-hash replica router.
 //
 // Every suite here is named Serve* so the CI thread-sanitizer job can run
 // the whole subsystem with --gtest_filter='Serve*'.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
 #include <dirent.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <chrono>
+#include <ctime>
 #include <fstream>
 #include <semaphore>
 #include <sstream>
@@ -24,6 +30,7 @@
 #include "serve/cache.hpp"
 #include "serve/hash.hpp"
 #include "serve/protocol.hpp"
+#include "serve/router.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
 #include "serve/solvers.hpp"
@@ -564,7 +571,7 @@ TEST(ServeSocket, EndToEndSolveDuplicateStatsShutdown) {
   const std::string socket_path =
       "/tmp/mvserve_test_" + std::to_string(::getpid()) + ".sock";
   serve::ServerOptions opts;
-  opts.socket_path = socket_path;
+  opts.endpoint = socket_path;
   opts.service.workers = 2;
   serve::Server server(opts);
   std::thread server_thread([&server] { server.run(); });
@@ -604,7 +611,7 @@ TEST(ServeSocket, MalformedModelGetsDiagnosticsNotTimeout) {
   const std::string socket_path =
       "/tmp/mvserve_invalid_" + std::to_string(::getpid()) + ".sock";
   serve::ServerOptions opts;
-  opts.socket_path = socket_path;
+  opts.endpoint = socket_path;
   opts.service.workers = 1;
   serve::Server server(opts);
   std::thread server_thread([&server] { server.run(); });
@@ -630,6 +637,406 @@ TEST(ServeSocket, MalformedModelGetsDiagnosticsNotTimeout) {
   EXPECT_EQ(m.invalid, 1u);
   EXPECT_EQ(m.timed_out, 0u);
   EXPECT_EQ(m.solves, 0u);
+}
+
+// --- endpoint grammar ----------------------------------------------------
+
+TEST(ServeEndpoint, GrammarSplitsTcpFromUnixPaths) {
+  const serve::Endpoint tcp = serve::parse_endpoint("127.0.0.1:7500");
+  EXPECT_EQ(tcp.kind, serve::Endpoint::Kind::kTcp);
+  EXPECT_EQ(tcp.host, "127.0.0.1");
+  EXPECT_EQ(tcp.port, 7500);
+  EXPECT_EQ(tcp.to_string(), "127.0.0.1:7500");
+
+  // Empty host means loopback; port 0 asks for an ephemeral port.
+  const serve::Endpoint loop = serve::parse_endpoint(":0");
+  EXPECT_EQ(loop.kind, serve::Endpoint::Kind::kTcp);
+  EXPECT_EQ(loop.host, "127.0.0.1");
+  EXPECT_EQ(loop.port, 0);
+
+  const serve::Endpoint host = serve::parse_endpoint("localhost:65535");
+  EXPECT_EQ(host.kind, serve::Endpoint::Kind::kTcp);
+  EXPECT_EQ(host.port, 65535);
+
+  // Anything whose last ':'-field is not a decimal port is a Unix path —
+  // including paths that merely contain colons.
+  for (const char* path : {"/tmp/serve.sock", "relative.sock",
+                           "/tmp/with:colon/serve.sock", "host:",
+                           "host:80x"}) {
+    const serve::Endpoint ep = serve::parse_endpoint(path);
+    EXPECT_EQ(ep.kind, serve::Endpoint::Kind::kUnix) << path;
+    EXPECT_EQ(ep.to_string(), path);
+  }
+
+  EXPECT_THROW((void)serve::parse_endpoint(""), std::runtime_error);
+  EXPECT_THROW((void)serve::parse_endpoint("host:65536"), std::runtime_error);
+}
+
+// --- TCP transport: framing torture --------------------------------------
+
+namespace raw {
+
+int connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  return fd;
+}
+
+std::string read_line(int fd) {
+  std::string line;
+  char c = 0;
+  while (::read(fd, &c, 1) == 1) {
+    if (c == '\n') {
+      return line;
+    }
+    line.push_back(c);
+  }
+  ADD_FAILURE() << "connection closed before a full line arrived";
+  return line;
+}
+
+}  // namespace raw
+
+TEST(ServeTcp, ReassemblesByteAtATimeDelivery) {
+  serve::ServerOptions opts;
+  opts.endpoint = "127.0.0.1:0";
+  opts.service.workers = 1;
+  serve::Server server(opts);
+  ASSERT_EQ(server.bound_endpoint().kind, serve::Endpoint::Kind::kTcp);
+  ASSERT_NE(server.bound_endpoint().port, 0);  // ephemeral port was read back
+  std::thread server_thread([&server] { server.run(); });
+
+  const serve::Request solve =
+      make_request(serve::Verb::kReach, kCtmcModel, "", 5);
+  const std::string wire = serve::encode_request(solve) + "\n";
+  const int fd = raw::connect_tcp(server.bound_endpoint().port);
+  for (const char c : wire) {  // worst-case packetisation
+    ASSERT_EQ(::send(fd, &c, 1, 0), 1);
+  }
+  const serve::Response resp = serve::decode_response(raw::read_line(fd));
+  EXPECT_EQ(resp.id, 5u);
+  EXPECT_EQ(resp.status, serve::Status::kOk) << resp.body;
+  EXPECT_EQ(resp.body, serve::solve_request(solve));
+  ::close(fd);
+
+  server.stop();
+  server_thread.join();
+}
+
+TEST(ServeTcp, SplitsTwoRequestsCoalescedIntoOneSegment) {
+  serve::ServerOptions opts;
+  opts.endpoint = "localhost:0";
+  opts.service.workers = 1;
+  serve::Server server(opts);
+  std::thread server_thread([&server] { server.run(); });
+
+  const serve::Request a = make_request(serve::Verb::kReach, kCtmcModel,
+                                        "0.5", 21);
+  const serve::Request b =
+      make_request(serve::Verb::kBounds, kNondetModel, "", 22);
+  const std::string wire =
+      serve::encode_request(a) + "\n" + serve::encode_request(b) + "\n";
+  const int fd = raw::connect_tcp(server.bound_endpoint().port);
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+            static_cast<ssize_t>(wire.size()));
+
+  // Both responses arrive (possibly out of request order); match by id.
+  std::string body_a;
+  std::string body_b;
+  for (int i = 0; i < 2; ++i) {
+    const serve::Response r = serve::decode_response(raw::read_line(fd));
+    EXPECT_EQ(r.status, serve::Status::kOk) << r.body;
+    (r.id == 21 ? body_a : body_b) = r.body;
+  }
+  EXPECT_EQ(body_a, serve::solve_request(a));
+  EXPECT_EQ(body_b, serve::solve_request(b));
+  ::close(fd);
+
+  server.stop();
+  server_thread.join();
+}
+
+TEST(ServeTcp, SurvivesClientDisconnectMidResponse) {
+  serve::ServerOptions opts;
+  opts.endpoint = "127.0.0.1:0";
+  opts.service.workers = 1;
+  serve::Server server(opts);
+  std::thread server_thread([&server] { server.run(); });
+  const std::string endpoint = server.bound_endpoint().to_string();
+
+  {
+    // Submit a solve and vanish before the response can be written; the
+    // server must absorb the broken pipe, not die or wedge.
+    const int fd = raw::connect_tcp(server.bound_endpoint().port);
+    const std::string wire =
+        serve::encode_request(make_request(serve::Verb::kReach, kCtmcModel)) +
+        "\n";
+    ASSERT_EQ(::send(fd, wire.data(), wire.size(), 0),
+              static_cast<ssize_t>(wire.size()));
+    ::close(fd);
+  }
+
+  // The server keeps serving new connections afterwards.
+  serve::Client client(endpoint, std::chrono::milliseconds(2000));
+  EXPECT_EQ(client.call(make_request(serve::Verb::kPing, "")).body, "pong");
+  const serve::Response bye =
+      client.call(make_request(serve::Verb::kShutdown, ""));
+  EXPECT_EQ(bye.status, serve::Status::kOk);
+  server_thread.join();
+}
+
+// --- client receive deadline (hung-server regression) ---------------------
+
+TEST(ServeClientDeadline, HungServerRaisesClientTimeoutNotForeverBlock) {
+  // A listener that accepts (via the kernel backlog) but never replies:
+  // before the receive deadline existed, Client::call blocked in recv()
+  // forever here.
+  const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(lfd, 0);
+  sockaddr_in addr = {};
+  addr.sin_family = AF_INET;
+  addr.sin_port = 0;
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  ASSERT_EQ(::listen(lfd, 4), 0);
+  socklen_t len = sizeof addr;
+  ASSERT_EQ(::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &len), 0);
+  const std::string endpoint =
+      "127.0.0.1:" + std::to_string(ntohs(addr.sin_port));
+
+  serve::Client client(endpoint, std::chrono::milliseconds{0},
+                       std::chrono::milliseconds{200});
+  serve::Request r = make_request(serve::Verb::kPing, "");
+  r.deadline = std::chrono::milliseconds(100);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_THROW((void)client.call(r), serve::ClientTimeout);
+  const auto waited = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(waited, std::chrono::seconds(5));  // deadline, not forever
+  ::close(lfd);
+}
+
+// --- consistent-hash router ----------------------------------------------
+
+TEST(ServeRouter, OwnerIsDeterministicAndPreferenceCoversAllReplicas) {
+  const std::vector<std::string> eps = {"/tmp/a.sock", "127.0.0.1:7501",
+                                        "/tmp/c.sock"};
+  serve::Router r1(eps);
+  serve::Router r2(eps);  // independent instance, same ring
+  for (int i = 0; i < 64; ++i) {
+    serve::Hasher h;
+    h.u64(static_cast<std::uint64_t>(i));
+    const serve::CacheKey key = h.key();
+    EXPECT_EQ(r1.owner(key), r2.owner(key));
+    const std::vector<std::size_t> pref = r1.preference(key);
+    ASSERT_EQ(pref.size(), eps.size());
+    EXPECT_EQ(pref.front(), r1.owner(key));
+    std::vector<bool> seen(eps.size(), false);
+    for (const std::size_t rep : pref) {
+      ASSERT_LT(rep, eps.size());
+      EXPECT_FALSE(seen[rep]);  // each replica exactly once
+      seen[rep] = true;
+    }
+  }
+  // With 3 replicas and 64 spread-out keys, every replica owns something.
+  std::vector<std::size_t> owned(eps.size(), 0);
+  for (int i = 0; i < 64; ++i) {
+    serve::Hasher h;
+    h.u64(static_cast<std::uint64_t>(i));
+    ++owned[r1.owner(h.key())];
+  }
+  for (const std::size_t count : owned) {
+    EXPECT_GT(count, 0u);
+  }
+}
+
+TEST(ServeRouter, RoutesFallOverToNextRingNodeAndRecover) {
+  serve::RouterOptions opts;
+  opts.down_cooldown = std::chrono::hours(1);  // no auto-recovery mid-test
+  serve::Router router({"/tmp/a.sock", "/tmp/b.sock", "/tmp/c.sock"}, opts);
+  serve::Hasher h;
+  h.str("some model digest");
+  const serve::CacheKey key = h.key();
+  const std::vector<std::size_t> pref = router.preference(key);
+
+  EXPECT_EQ(router.route(key), pref[0]);
+  router.mark_down(pref[0]);
+  EXPECT_TRUE(router.is_down(pref[0]));
+  EXPECT_EQ(router.route(key), pref[1]);  // next distinct ring node
+  router.mark_down(pref[1]);
+  EXPECT_EQ(router.route(key), pref[2]);
+  router.mark_down(pref[2]);
+  EXPECT_THROW((void)router.route(key), std::runtime_error);
+  router.mark_up(pref[0]);
+  EXPECT_EQ(router.route(key), pref[0]);
+}
+
+TEST(ServeRouter, RejectsEmptyAndDuplicateEndpoints) {
+  EXPECT_THROW(serve::Router({}), std::runtime_error);
+  EXPECT_THROW(serve::Router({"/tmp/a.sock", "/tmp/a.sock"}),
+               std::runtime_error);
+}
+
+TEST(ServeRouter, RoutedClientSendsIdenticalModelsToTheOwningReplica) {
+  // Two live replicas: every call for one content key lands on its ring
+  // owner (locality 1.0, one replica solves, the other never sees it);
+  // after the owner dies the same key fails over and still succeeds.
+  const std::string base = "/tmp/mvserve_route_" + std::to_string(::getpid());
+  std::vector<std::unique_ptr<serve::Server>> servers;
+  std::vector<std::thread> threads;
+  std::vector<std::string> endpoints;
+  for (int i = 0; i < 2; ++i) {
+    serve::ServerOptions opts;
+    opts.endpoint = base + "_" + std::to_string(i) + ".sock";
+    opts.service.workers = 1;
+    servers.push_back(std::make_unique<serve::Server>(opts));
+    endpoints.push_back(opts.endpoint);
+  }
+  for (auto& s : servers) {
+    threads.emplace_back([&s] { s->run(); });
+  }
+
+  auto router = std::make_shared<serve::Router>(endpoints);
+  serve::RoutedClient client(router, std::chrono::milliseconds(2000));
+  const serve::Request solve = make_request(serve::Verb::kReach, kCtmcModel);
+  const std::size_t owner =
+      router->owner(serve::prepare_request(solve).key);
+
+  const serve::Response first = client.call(solve);
+  ASSERT_EQ(first.status, serve::Status::kOk) << first.body;
+  const serve::Response dup = client.call(solve);
+  EXPECT_EQ(dup.body, first.body);
+  EXPECT_EQ(client.stats().primary, 2u);
+  EXPECT_EQ(client.stats().failover, 0u);
+  EXPECT_DOUBLE_EQ(client.stats().locality(), 1.0);
+  EXPECT_EQ(servers[owner]->service().metrics().solves, 1u);
+  EXPECT_EQ(servers[owner]->service().metrics().cache_hits, 1u);
+  EXPECT_EQ(servers[1 - owner]->service().metrics().solves, 0u);
+
+  // Kill the owner: the same request must fail over to the survivor.
+  servers[owner]->stop();
+  threads[owner].join();
+  const serve::Response after = client.call(solve);
+  EXPECT_EQ(after.status, serve::Status::kOk) << after.body;
+  EXPECT_EQ(after.body, first.body);  // byte-identical from the other replica
+  EXPECT_GE(client.stats().failover, 1u);
+  EXPECT_TRUE(router->is_down(owner));
+  EXPECT_EQ(servers[1 - owner]->service().metrics().solves, 1u);
+
+  servers[1 - owner]->stop();
+  threads[1 - owner].join();
+}
+
+// --- batched solver execution --------------------------------------------
+
+TEST(ServeService, SameModelFlightsAreBatchedIntoOneSweep) {
+  // Hold the single worker on an unbatchable blocker while a sweep of four
+  // same-model reach requests (different time bounds) queues up behind it;
+  // on release the worker must answer all four as ONE batch over one shared
+  // closed model — byte-identical to the direct solves.
+  constexpr int kSweep = 4;
+  std::counting_semaphore<kSweep + 2> gate(0);
+  serve::ServiceOptions opts;
+  opts.workers = 1;
+  opts.pre_solve_hook = [&gate](const serve::CacheKey&) { gate.acquire(); };
+  serve::Service service(opts);
+
+  auto blocker =
+      service.submit(make_request(serve::Verb::kBounds, kNondetModel));
+  const char* bounds[kSweep] = {"0.25", "0.5", "", "2.0"};
+  std::vector<serve::Request> requests;
+  std::vector<std::shared_future<serve::Response>> futures;
+  for (int i = 0; i < kSweep; ++i) {
+    requests.push_back(make_request(serve::Verb::kReach, kCtmcModel,
+                                    bounds[i],
+                                    static_cast<std::uint64_t>(i + 2)));
+    futures.push_back(service.submit(requests.back()));
+  }
+  gate.release(kSweep + 1);  // one for the blocker, one per sweep flight
+
+  EXPECT_EQ(blocker.get().status, serve::Status::kOk);
+  for (int i = 0; i < kSweep; ++i) {
+    const serve::Response resp = futures[i].get();
+    EXPECT_EQ(resp.status, serve::Status::kOk) << resp.body;
+    EXPECT_EQ(resp.body, serve::solve_request(requests[i]))
+        << "batched result must be byte-identical to the direct solve";
+  }
+
+  const serve::ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.solves, static_cast<std::uint64_t>(kSweep) + 1);
+  EXPECT_EQ(m.batches, 1u);
+  EXPECT_EQ(m.batched, static_cast<std::uint64_t>(kSweep));
+  EXPECT_EQ(m.max_batch, static_cast<std::uint64_t>(kSweep));
+}
+
+TEST(ServeService, MaxBatchOneDisablesBatching) {
+  std::counting_semaphore<8> gate(0);
+  serve::ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 1;
+  opts.pre_solve_hook = [&gate](const serve::CacheKey&) { gate.acquire(); };
+  serve::Service service(opts);
+
+  auto blocker =
+      service.submit(make_request(serve::Verb::kBounds, kNondetModel));
+  std::vector<std::shared_future<serve::Response>> futures;
+  for (int i = 0; i < 3; ++i) {
+    futures.push_back(service.submit(make_request(
+        serve::Verb::kReach, kCtmcModel, "0." + std::to_string(i + 1))));
+  }
+  gate.release(4);
+  EXPECT_EQ(blocker.get().status, serve::Status::kOk);
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, serve::Status::kOk);
+  }
+  const serve::ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.batches, 0u);
+  EXPECT_EQ(m.batched, 0u);
+  EXPECT_EQ(m.max_batch, 1u);
+}
+
+// --- disk-tier tmp sweep -------------------------------------------------
+
+TEST(ServeCache, StaleTmpFilesAreSweptOnOpenFreshOnesKept) {
+  const std::string dir = testing::TempDir() + "serve_cache_tmp_sweep";
+  ::mkdir(dir.c_str(), 0755);
+  serve::ResultCache::Options opts;
+  opts.disk_dir = dir;
+
+  // A published entry, written the normal way.
+  serve::Hasher h;
+  h.str("published-key");
+  const serve::CacheKey key = h.key();
+  {
+    serve::ResultCache cache(opts);
+    cache.insert(key, "kept payload");
+  }
+
+  // An orphaned temporary from a crashed writer: old enough to sweep.
+  const std::string stale = dir + "/" + key.hex() + ".mvcr.tmp.99999.0";
+  { std::ofstream(stale) << "half-written"; }
+  timespec old_times[2];
+  old_times[0].tv_sec = std::time(nullptr) - 3600;
+  old_times[0].tv_nsec = 0;
+  old_times[1] = old_times[0];
+  ASSERT_EQ(::utimensat(AT_FDCWD, stale.c_str(), old_times, 0), 0);
+
+  // A *fresh* temporary: could be a live writer mid-publish, must survive.
+  const std::string fresh = dir + "/" + key.hex() + ".mvcr.tmp.99999.1";
+  { std::ofstream(fresh) << "in flight"; }
+
+  serve::ResultCache cache(opts);
+  EXPECT_EQ(cache.stats().tmp_swept, 1u);
+  EXPECT_NE(::access(stale.c_str(), F_OK), 0);  // swept
+  EXPECT_EQ(::access(fresh.c_str(), F_OK), 0);  // kept
+  const auto hit = cache.lookup(key);           // published entry untouched
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "kept payload");
+  ::unlink(fresh.c_str());
 }
 
 }  // namespace
