@@ -20,8 +20,10 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "cli_util.hpp"
+#include "core/parallel.hpp"
 #include "core/report.hpp"
 #include "dse/driver.hpp"
 #include "dse/grid.hpp"
@@ -42,12 +44,15 @@ void write_file(const std::string& path, const std::string& text) {
 }
 
 std::string dse_json(const dse::SweepResult& r, unsigned repeat,
-                     double points_per_sec, double cache_hit_ratio,
-                     double shed_rate) {
+                     unsigned threads_used, double points_per_sec,
+                     double cache_hit_ratio, double shed_rate) {
   std::ostringstream os;
   os << "{\n"
      << "  \"bench\": \"dse\",\n"
      << "  \"sweep\": \"" << r.name << "\",\n"
+     << "  \"hardware_concurrency\": "
+     << std::thread::hardware_concurrency() << ",\n"
+     << "  \"threads_used\": " << threads_used << ",\n"
      << "  \"raw_points\": " << r.raw_points << ",\n"
      << "  \"pruned\": " << r.pruned << ",\n"
      << "  \"evaluated\": " << r.points.size() << ",\n"
@@ -56,6 +61,9 @@ std::string dse_json(const dse::SweepResult& r, unsigned repeat,
      << "  \"repeat\": " << repeat << ",\n"
      << "  \"distinct_keys\": " << r.distinct_keys << ",\n"
      << "  \"solves\": " << r.service.solves << ",\n"
+     << "  \"pipeline_hits\": " << r.pipeline.hits << ",\n"
+     << "  \"pipeline_misses\": " << r.pipeline.misses << ",\n"
+     << "  \"pipeline_evictions\": " << r.pipeline.evictions << ",\n"
      << "  \"cache_hit_ratio\": " << num(cache_hit_ratio) << ",\n"
      << "  \"shed_rate\": " << num(shed_rate) << ",\n"
      << "  \"latency_p50_ms\": " << num(r.service.latency_p50_ms) << ",\n"
@@ -165,8 +173,11 @@ int main(int argc, char** argv) {
   t.add_row({"points/sec", core::fmt(points_per_sec, 1)});
   t.print(std::cout);
 
-  write_file(json_path, dse_json(r, opts.repeat, points_per_sec,
-                                 cache_hit_ratio, shed_rate));
+  write_file(json_path,
+             dse_json(r, opts.repeat,
+                      opts.workers != 0 ? opts.workers
+                                        : core::parallel_threads(),
+                      points_per_sec, cache_hit_ratio, shed_rate));
   write_file(serve_json_path, serve_json(r.service));
   std::cout << "written to " << json_path << " and " << serve_json_path
             << "\n";

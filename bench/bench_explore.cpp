@@ -28,6 +28,8 @@
 #include "lts/lts_io.hpp"
 #include "serve/solvers.hpp"
 
+constexpr unsigned kWorkerSweep[] = {1u, 2u, 4u, 8u};
+
 int main(int argc, char** argv) {
   using namespace multival;
 
@@ -64,7 +66,7 @@ int main(int argc, char** argv) {
     const auto oracle = explore::proc_oracle(m.program, m.entry);
     double base_seconds = 0.0;
     std::string reference_aut;
-    for (unsigned workers : {1u, 2u, 4u, 8u}) {
+    for (unsigned workers : kWorkerSweep) {
       explore::ExploreOptions opts;
       opts.workers = workers;
       const explore::ExploreResult r = explore::explore(*oracle, opts);
@@ -117,7 +119,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     out << "{\n  \"bench\": \"explore\",\n  \"hardware_concurrency\": "
-        << std::thread::hardware_concurrency() << ",\n  \"rows\": [\n"
+        << std::thread::hardware_concurrency()
+        << ",\n  \"threads_used\": "
+        << kWorkerSweep[std::size(kWorkerSweep) - 1]
+        << ",\n  \"rows\": [\n"
         << std::move(rows).str() << "\n  ]\n}\n";
   }
   return 0;

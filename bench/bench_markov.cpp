@@ -7,13 +7,18 @@
 // answer (M/M/1/K steady state, pure-death absorption time, Erlang CDF via
 // uniformisation, exact scheduler bounds) plus a bitwise-determinism check
 // of the parallel SpMV, and the per-solve telemetry table is printed.
-// Exits non-zero on any violation, so CI can gate on it.
+// Exits non-zero on any violation, so CI can gate on it.  `--smoke --json
+// PATH` additionally writes a machine-readable verdict with the thread
+// budget the solvers ran under.
 #include <benchmark/benchmark.h>
 
 #include <cmath>
 #include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <string_view>
+#include <thread>
 
 #include "core/parallel.hpp"
 #include "core/report.hpp"
@@ -128,7 +133,7 @@ bool check(bool ok, const char* what, double got, double want) {
   return ok;
 }
 
-int run_smoke() {
+int run_smoke(const std::string& json_path) {
   bool ok = true;
   {
     const core::SolveContext ctx("smoke/mm1k");
@@ -229,16 +234,35 @@ int run_smoke() {
   }
   core::solve_table().print(std::cout);
   std::cout << (ok ? "SMOKE PASS\n" : "SMOKE FAIL\n");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "ERROR: cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << "{\n  \"bench\": \"markov\",\n  \"hardware_concurrency\": "
+        << std::thread::hardware_concurrency()
+        << ",\n  \"threads_used\": " << core::parallel_threads()
+        << ",\n  \"smoke_pass\": " << (ok ? "true" : "false") << "\n}\n";
+  }
   return ok ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string json_path;
   for (int i = 1; i < argc; ++i) {
-    if (std::string_view(argv[i]) == "--smoke") {
-      return run_smoke();
+    const std::string_view a(argv[i]);
+    if (a == "--smoke") {
+      smoke = true;
+    } else if (a == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
     }
+  }
+  if (smoke) {
+    return run_smoke(json_path);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

@@ -3,6 +3,7 @@
 // case-study model in this reproduction.
 #include <iostream>
 
+#include "compose/plan.hpp"
 #include "core/report.hpp"
 #include "fame/coherence.hpp"
 #include "fame/coherence_n.hpp"
@@ -40,22 +41,30 @@ int main() {
   row("FAUST", "router (free environment)", noc::router_lts(0));
   row("FAUST", "3x3 centre router (free environment)",
       noc::router_lts(4, noc::MeshDims{3, 3}));
-  row("FAUST", "2x2 mesh, 1 packet 0->3", noc::single_packet_lts(0, 3));
+  // T1 inventories the *monolithic* state spaces (what "enumerate the state
+  // space" means in the paper); the default pipeline is now the planned
+  // compositional one, which returns minimal LTSs — so pin kFlat here.
+  row("FAUST", "2x2 mesh, 1 packet 0->3",
+      noc::single_packet_lts(0, 3, true, {}, compose::Strategy::kFlat));
   row("FAUST", "2x2 mesh, flows 0->3 & 1->3",
-      noc::stream_lts({{0, 3}, {1, 3}}));
+      noc::stream_lts({{0, 3}, {1, 3}}, true, {}, compose::Strategy::kFlat));
   row("FAUST", "3x3 mesh, 1 packet 0->8",
-      noc::single_packet_lts(0, 8, true, noc::MeshDims{3, 3}));
+      noc::single_packet_lts(0, 8, true, noc::MeshDims{3, 3},
+                             compose::Strategy::kFlat));
   row("FAUST", "3x3 mesh, flows 0->8 & 8->0",
-      noc::stream_lts({{0, 8}, {8, 0}}, true, noc::MeshDims{3, 3}));
+      noc::stream_lts({{0, 8}, {8, 0}}, true, noc::MeshDims{3, 3},
+                      compose::Strategy::kFlat));
 
   row("FAME2", "MSI coherence + observer (2 nodes)",
       fame::coherence_system_lts(fame::Protocol::kMsi));
   row("FAME2", "MESI coherence + observer (2 nodes)",
       fame::coherence_system_lts(fame::Protocol::kMesi));
   row("FAME2", "MESI coherence + observer (3 nodes)",
-      fame::coherence_system_n_lts(fame::Protocol::kMesi, 3));
+      fame::coherence_system_n_lts(fame::Protocol::kMesi, 3,
+                                   compose::Strategy::kFlat));
   row("FAME2", "MESI coherence + observer (4 nodes)",
-      fame::coherence_system_n_lts(fame::Protocol::kMesi, 4));
+      fame::coherence_system_n_lts(fame::Protocol::kMesi, 4,
+                                   compose::Strategy::kFlat));
   {
     fame::PingPongConfig cfg;
     cfg.rounds = 2;

@@ -9,13 +9,21 @@
 //   multival_cli deadlocks <file.aut>
 //   multival_cli gen   <model.proc> <EntryProcess> [args...] [-o out.aut]
 //   multival_cli explore <model.proc> <EntryProcess> [args...]
-//       [-j N] [--dfs] [--fp [bits]] [-o out.aut|out.mvl]
+//       [--plan|--flat] [-j N] [--dfs] [--fp [bits]] [-o out.aut|out.mvl]
+//       (default --plan: generate-minimise-compose through the planner;
+//        --dfs/--fp imply --flat, the monolithic on-the-fly explorer)
+//   multival_cli compose (--builtin <name> | <model.proc> <Entry>)
+//       [--flat] [-j N] [-o out.aut|out.mvl]
+//       (prints the composition plan, the per-step size table and the
+//        byte-identity check against the flat reference pipeline)
 //   multival_cli lint  <model.proc> [EntryProcess [args...]]
 //                      [--json] [--strict]
 //   multival_cli lint  --imc <file.imc> | --builtin <name|all>
 //                      [--json] [--strict]
 //   multival_cli lint  --fixed-delay D [--error-bound EPS]   (MV020 advisory)
-//   multival_cli solve <file.imc>       (aut with "rate r" labels)
+//   multival_cli solve <file.imc> [--stats] [--plan|--flat]
+//       (aut with "rate r" labels; default --plan lumps the IMC by
+//        stochastic branching bisimulation before solving)
 //   multival_cli check-file <file.aut> <props.mcl>
 //       props.mcl: one "name: formula" per line; '#' comments
 //   multival_cli dot   <file.aut> [out.dot]
@@ -23,7 +31,8 @@
 //       [--deadline MS] [--cache-mb N] [--cache-dir DIR]
 //       (endpoints whose last ':'-field is a decimal port are TCP;
 //        port 0 binds an ephemeral port, printed on startup)
-//   multival_cli client --socket <endpoint> <ping|stats|shutdown>
+//   multival_cli client --socket <endpoint> <ping|shutdown>
+//   multival_cli client --socket <endpoint> stats [--json]
 //   multival_cli client --socket <endpoint> reach <file.imc> [time-bound]
 //   multival_cli client --socket <endpoint> bounds <file.imc>
 //   multival_cli client --socket <endpoint> check <file.aut> '<formula>'
@@ -31,7 +40,7 @@
 //       <label-glob>
 //   multival_cli dse [--spec <file> | --builtin <default|smoke>] [-j N]
 //       [--socket EP[,EP...] [--retry-ms MS]] [--deadline MS] [--repeat N]
-//       [--json PATH] [--csv PATH] [--no-timing]
+//       [--json PATH] [--csv PATH] [--no-timing] [--flat]
 //       (a comma-separated --socket list routes probes over the replicas
 //        by content hash — see serve::Router)
 #include <charconv>
@@ -39,11 +48,13 @@
 #include <fstream>
 #include <iostream>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "cli_util.hpp"
 
 #include "analyze/analyze.hpp"
+#include "compose/plan.hpp"
 #include "dse/driver.hpp"
 #include "dse/grid.hpp"
 #include "bisim/equivalence.hpp"
@@ -57,6 +68,7 @@
 #include "mc/parser.hpp"
 #include "core/flow.hpp"
 #include "imc/imc_io.hpp"
+#include "imc/lump.hpp"
 #include "imc/scheduler.hpp"
 #include "markov/absorption.hpp"
 #include "markov/steady.hpp"
@@ -216,24 +228,51 @@ int cmd_gen(int argc, char** argv) {
   return 0;
 }
 
+void save_any(const lts::Lts& l, const std::string& out_path) {
+  if (out_path.size() >= 4 &&
+      out_path.compare(out_path.size() - 4, 4, ".mvl") == 0) {
+    explore::save_lts_stream(out_path, l);
+  } else {
+    save(l, out_path);
+  }
+  std::cout << "written to " << out_path << "\n";
+}
+
+/// Prints a Plan's provenance: the rendered grammar, and the fallback
+/// reason when the structure was not safely reassociable.
+void print_plan(const compose::Plan& plan) {
+  std::cout << "plan: " << plan.grammar << "\n";
+  if (!plan.planned) {
+    std::cout << "monolithic fallback: " << plan.fallback_reason << "\n";
+  }
+}
+
 int cmd_explore(int argc, char** argv) {
-  // explore <model.proc> <Entry> [int args...] [-j N] [--dfs] [--fp [bits]]
-  //         [-o out.aut|out.mvl]
+  // explore <model.proc> <Entry> [int args...] [--plan|--flat] [-j N]
+  //         [--dfs] [--fp [bits]] [-o out.aut|out.mvl]
   const std::string model_path = argv[2];
   const std::string entry = argv[3];
   std::vector<proc::Value> args;
   std::string out_path;
   explore::ExploreOptions opts;
+  bool plan_requested = false;
+  bool flat = false;  // --flat, or a flat-only flag (--dfs / --fp)
   for (int i = 4; i < argc; ++i) {
     const std::string a = argv[i];
     if (a == "-o" && i + 1 < argc) {
       out_path = argv[++i];
     } else if (a == "-j" && i + 1 < argc) {
       opts.workers = parse_unsigned(argv[++i], "worker count");
+    } else if (a == "--plan") {
+      plan_requested = true;
+    } else if (a == "--flat") {
+      flat = true;
     } else if (a == "--dfs") {
       opts.order = explore::Order::kDfs;
+      flat = true;
     } else if (a == "--fp") {
       opts.store = explore::StoreMode::kFingerprint;
+      flat = true;
       if (i + 1 < argc && argv[i + 1][0] != '-') {
         opts.fingerprint_bits = parse_unsigned(argv[++i], "fingerprint bits");
       }
@@ -244,20 +283,41 @@ int cmd_explore(int argc, char** argv) {
           static_cast<proc::Value>(parse_long(a, "explore process argument")));
     }
   }
+  if (plan_requested && flat) {
+    throw UsageError("explore: --plan is incompatible with --flat/--dfs/--fp");
+  }
   const std::string text = read_file(model_path);
   auto program = std::make_shared<const proc::Program>(
       proc::parse_program(text));
+  if (!flat) {
+    // Default: the planned generate-minimise-compose pipeline.  The result
+    // is the canonical minimal LTS (divergence-preserving branching).
+    std::vector<proc::ExprPtr> eargs;
+    eargs.reserve(args.size());
+    for (const proc::Value v : args) {
+      eargs.push_back(proc::lit(v));
+    }
+    compose::PlanOptions popts;
+    popts.workers = opts.workers;
+    const compose::Plan plan = compose::plan_term(
+        program, proc::call(entry, std::move(eargs)), popts);
+    print_plan(plan);
+    const compose::PlanResult r = compose::evaluate_plan(plan, popts);
+    r.stats.to_table("explore " + entry).print(std::cout);
+    std::cout << entry << ": " << r.lts.num_states() << " states, "
+              << r.lts.num_transitions()
+              << " transitions (minimal mod divbranching, peak "
+              << r.stats.peak_states << " states)\n";
+    if (!out_path.empty()) {
+      save_any(r.lts, out_path);
+    }
+    return 0;
+  }
   const explore::OraclePtr oracle = explore::proc_oracle(program, entry, args);
   const explore::ExploreResult r = explore::explore(*oracle, opts);
   r.stats.to_table(entry).print(std::cout);
   if (!out_path.empty()) {
-    if (out_path.size() >= 4 &&
-        out_path.compare(out_path.size() - 4, 4, ".mvl") == 0) {
-      explore::save_lts_stream(out_path, r.lts);
-    } else {
-      save(r.lts, out_path);
-    }
-    std::cout << "written to " << out_path << "\n";
+    save_any(r.lts, out_path);
   }
   return 0;
 }
@@ -292,16 +352,25 @@ int cmd_check_file(const std::string& aut_path,
   return failures == 0 ? 0 : 1;
 }
 
-int cmd_solve(const std::string& path, bool stats) {
+int cmd_solve(const std::string& path, bool stats, bool lump) {
   std::ifstream in(path);
   if (!in) {
     throw std::runtime_error("cannot open " + path);
   }
   const core::SolveContext solve_ctx(path);
-  const imc::Imc m = imc::read_aut(in);
+  imc::Imc m = imc::read_aut(in);
   std::cout << path << ": " << m.num_states() << " states, "
             << m.num_interactive() << " interactive + " << m.num_markovian()
             << " markovian transitions\n";
+  if (lump) {
+    // Exact stochastic lumping (maximal progress + branching lumping, rates
+    // aggregated per block) — value-preserving by construction, so the
+    // solver sees the quotient chain.  `solve --flat` skips it.
+    imc::LumpResult lumped = imc::minimize_imc(m);
+    std::cout << "lumped: " << m.num_states() << " -> "
+              << lumped.quotient.num_states() << " states\n";
+    m = std::move(lumped.quotient);
+  }
 
   // Residual interactive nondeterminism: no single CTMC exists, so report
   // certified scheduler bounds (interval iteration, midpoints exact to the
@@ -377,7 +446,8 @@ struct BuiltinModel {
 const std::vector<std::string>& builtin_names() {
   static const std::vector<std::string> names = {
       "fame-msi",        "fame-mesi",           "fame-msi-3",
-      "noc-mesh",        "noc-single-packet",   "noc-stream",
+      "fame-mesi-3",     "noc-mesh",            "noc-mesh-3x3",
+      "noc-single-packet", "noc-stream",
       "xstream",         "xstream-lost-credit", "xstream-eager-credit",
   };
   return names;
@@ -394,8 +464,17 @@ BuiltinModel builtin_model(const std::string& name) {
     return {"SystemN",
             fame::coherence_system_n_program(fame::Protocol::kMsi, 3)};
   }
+  if (name == "fame-mesi-3") {
+    return {"SystemN",
+            fame::coherence_system_n_program(fame::Protocol::kMesi, 3)};
+  }
   if (name == "noc-mesh") {
     return {"Mesh", noc::mesh_program()};
+  }
+  if (name == "noc-mesh-3x3") {
+    return {"Scenario",
+            noc::single_packet_program(0, 8, /*hide_links=*/true,
+                                       noc::MeshDims{3, 3})};
   }
   if (name == "noc-single-packet") {
     return {"Scenario", noc::single_packet_program(0, 3)};
@@ -555,6 +634,106 @@ int cmd_dot(const std::string& in, const std::string& out) {
   return 0;
 }
 
+int cmd_compose(int argc, char** argv) {
+  // compose (--builtin <name> | <model.proc> <Entry>) [--flat] [-j N]
+  //         [-o out.aut|out.mvl]
+  std::string builtin;
+  std::string model_path;
+  std::string entry;
+  std::string out_path;
+  bool flat = false;
+  compose::PlanOptions popts;
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--builtin" && i + 1 < argc) {
+      builtin = argv[++i];
+    } else if (a == "--flat") {
+      flat = true;
+    } else if (a == "-j" && i + 1 < argc) {
+      popts.workers = parse_unsigned(argv[++i], "worker count");
+    } else if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      throw UsageError("compose: unknown flag " + a);
+    } else if (model_path.empty()) {
+      model_path = a;
+    } else if (entry.empty()) {
+      entry = a;
+    } else {
+      throw UsageError("compose: unexpected argument '" + a + "'");
+    }
+  }
+  if (builtin.empty() == model_path.empty()) {
+    throw UsageError("compose: give either --builtin <name> or "
+                     "<model.proc> <Entry>");
+  }
+  if (!model_path.empty() && entry.empty()) {
+    throw UsageError("compose: <model.proc> needs an <Entry> process");
+  }
+  std::shared_ptr<const proc::Program> program;
+  if (!builtin.empty()) {
+    BuiltinModel m = builtin_model(builtin);
+    entry = m.entry;
+    program =
+        std::make_shared<const proc::Program>(std::move(m.program));
+  } else {
+    program = std::make_shared<const proc::Program>(
+        proc::parse_program(read_file(model_path)));
+  }
+
+  const compose::Plan plan = compose::plan_program(program, entry, popts);
+  print_plan(plan);
+  if (plan.planned) {
+    std::cout << "components:";
+    for (const std::string& c : plan.components) {
+      std::cout << " " << c;
+    }
+    std::cout << "\n";
+  }
+  if (flat) {
+    // Baseline only: the monolithic generate-then-minimise pipeline in the
+    // same canonical normal form.
+    compose::PlanResult r = compose::flat_reference(
+        program, proc::call(entry, {}), popts);
+    r.stats.to_table("compose --flat " + entry).print(std::cout);
+    std::cout << entry << ": " << r.lts.num_states() << " states, "
+              << r.lts.num_transitions() << " transitions (flat reference)\n";
+    if (!out_path.empty()) {
+      save_any(r.lts, out_path);
+    }
+    return 0;
+  }
+  const compose::PlanResult planned = compose::evaluate_plan(plan, popts);
+  planned.stats.to_table("compose " + entry).print(std::cout);
+  const std::size_t final_states = planned.lts.num_states();
+  std::cout << entry << ": " << final_states << " states, "
+            << planned.lts.num_transitions()
+            << " transitions (minimal mod divbranching)\n"
+            << "peak intermediate: " << planned.stats.peak_states
+            << " states ("
+            << core::fmt(final_states == 0
+                             ? 0.0
+                             : static_cast<double>(planned.stats.peak_states) /
+                                   static_cast<double>(final_states),
+                         2)
+            << "x final)\n";
+
+  const compose::PlanResult reference = compose::flat_reference(
+      program, proc::call(entry, {}), popts);
+  std::ostringstream a;
+  std::ostringstream b;
+  explore::write_lts_stream(a, planned.lts);
+  explore::write_lts_stream(b, reference.lts);
+  const bool identical = a.str() == b.str();
+  std::cout << "flat reference: " << reference.stats.peak_states
+            << " peak states; results "
+            << (identical ? "byte-identical" : "DIFFER") << "\n";
+  if (!out_path.empty()) {
+    save_any(planned.lts, out_path);
+  }
+  return identical ? 0 : 1;
+}
+
 int cmd_serve(int argc, char** argv) {
   serve::ServerOptions opts;
   for (int i = 2; i < argc; ++i) {
@@ -620,11 +799,19 @@ int cmd_client(int argc, char** argv) {
     throw UsageError("client: unknown verb '" + rest[0] + "'");
   }
   switch (request.verb) {
-    case serve::Verb::kPing:
     case serve::Verb::kStats:
+      if (rest.size() == 2 && rest[1] == "--json") {
+        request.arg = "json";  // the service answers with metrics JSON
+        break;
+      }
+      [[fallthrough]];
+    case serve::Verb::kPing:
     case serve::Verb::kShutdown:
       if (rest.size() != 1) {
-        throw UsageError("client: '" + rest[0] + "' takes no arguments");
+        throw UsageError("client: '" + rest[0] + "' takes no arguments" +
+                         (request.verb == serve::Verb::kStats
+                              ? " (except stats --json)"
+                              : ""));
       }
       break;
     case serve::Verb::kReach:
@@ -713,6 +900,8 @@ int cmd_dse(int argc, char** argv) {
       csv_path = argv[++i];
     } else if (a == "--no-timing") {
       timing = false;
+    } else if (a == "--flat") {
+      opts.strategy = compose::Strategy::kFlat;
     } else {
       throw UsageError("dse: unknown flag " + a);
     }
@@ -742,6 +931,9 @@ int cmd_dse(int argc, char** argv) {
               << (result.service.cache_hits + result.service.coalesced)
               << " reused, " << result.service.shed << " shed\n";
   }
+  std::cout << "pipeline cache: " << result.pipeline.hits << " hits, "
+            << result.pipeline.misses << " misses, "
+            << result.pipeline.evictions << " evicted\n";
   dse::front_table(result).print(std::cout);
   for (const dse::PointResult& p : result.points) {
     if (p.status == "gated") {
@@ -784,20 +976,22 @@ int usage() {
          "  multival_cli check <file.aut> '<formula>'\n"
          "  multival_cli deadlocks <file.aut>\n"
          "  multival_cli gen   <model.proc> <Entry> [args...] [-o out.aut]\n"
-         "  multival_cli explore <model.proc> <Entry> [args...] [-j N] "
-         "[--dfs] [--fp [bits]] [-o out.aut|out.mvl]\n"
+         "  multival_cli explore <model.proc> <Entry> [args...] "
+         "[--plan|--flat] [-j N] [--dfs] [--fp [bits]] [-o out.aut|out.mvl]\n"
+         "  multival_cli compose (--builtin <name> | <model.proc> <Entry>) "
+         "[--flat] [-j N] [-o out.aut|out.mvl]\n"
          "  multival_cli lint  <model.proc> [Entry [args...]] [--json] "
          "[--strict]\n"
          "  multival_cli lint  --imc <file.imc> | --builtin <name|all> "
          "[--json] [--strict]\n"
          "  multival_cli lint  --fixed-delay D [--error-bound EPS]\n"
-         "  multival_cli solve <file.imc> [--stats]\n"
+         "  multival_cli solve <file.imc> [--stats] [--plan|--flat]\n"
          "  multival_cli check-file <file.aut> <props.mcl>\n"
          "  multival_cli dot   <file.aut> [out.dot]\n"
          "  multival_cli serve --socket <path|host:port> [-j N] [--queue N] "
          "[--deadline MS] [--cache-mb N] [--cache-dir DIR]\n"
          "  multival_cli client --socket <endpoint> [--retry-ms MS] "
-         "<ping|stats|shutdown>\n"
+         "<ping|shutdown|stats [--json]>\n"
          "  multival_cli client --socket <endpoint> reach <file.imc> "
          "[time-bound]\n"
          "  multival_cli client --socket <endpoint> bounds <file.imc>\n"
@@ -807,7 +1001,7 @@ int usage() {
          "<label-glob>\n"
          "  multival_cli dse   [--spec <file> | --builtin <default|smoke>] "
          "[-j N] [--socket EP[,EP...] [--retry-ms MS]] [--deadline MS] "
-         "[--repeat N] [--json PATH] [--csv PATH] [--no-timing]\n";
+         "[--repeat N] [--json PATH] [--csv PATH] [--no-timing] [--flat]\n";
   return 2;
 }
 
@@ -843,18 +1037,31 @@ int main(int argc, char** argv) {
     if (cmd == "lint" && argc >= 3) {
       return cmd_lint(argc, argv);
     }
-    if (cmd == "solve" && (argc == 3 || argc == 4)) {
-      const bool stats = argc == 4 && std::string(argv[3]) == "--stats";
-      if (argc == 4 && !stats) {
-        return usage();
+    if (cmd == "solve" && argc >= 3) {
+      bool stats = false;
+      bool lump = true;
+      for (int i = 3; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--stats") {
+          stats = true;
+        } else if (a == "--plan") {
+          lump = true;
+        } else if (a == "--flat") {
+          lump = false;
+        } else {
+          return usage();
+        }
       }
-      return cmd_solve(argv[2], stats);
+      return cmd_solve(argv[2], stats, lump);
     }
     if (cmd == "check-file" && argc == 4) {
       return cmd_check_file(argv[2], argv[3]);
     }
     if (cmd == "dot" && (argc == 3 || argc == 4)) {
       return cmd_dot(argv[2], argc == 4 ? argv[3] : "");
+    }
+    if (cmd == "compose" && argc >= 3) {
+      return cmd_compose(argc, argv);
     }
     if (cmd == "serve" && argc >= 3) {
       return cmd_serve(argc, argv);

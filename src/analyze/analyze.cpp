@@ -406,6 +406,7 @@ class Checker {
                  "drop " + g + " from the hide set or fix the gate name");
           }
         }
+        check_hide_placement(t, path);
         check(t->children()[0].get(), path, bound);
         return;
       }
@@ -538,6 +539,41 @@ class Checker {
     }
   }
 
+  // MV021: `hide g in (L |[G]| R)` where g is used by exactly one operand
+  // and is not synchronised.  The hide can then be pushed into that operand
+  // without changing the composed behaviour, turning g's actions into i
+  // *before* the product is built — which is exactly what lets the
+  // compositional planner (compose/plan) tau-compress the intermediate.
+  void check_hide_placement(const Term* t, const std::string& path) {
+    const Term* child = t->children()[0].get();
+    if (child->kind() != Term::Kind::kPar) {
+      return;
+    }
+    const GateSet& l = alpha(child->children()[0].get());
+    const GateSet& r = alpha(child->children()[1].get());
+    const GateSet sync(child->gates().begin(), child->gates().end());
+    for (const std::string& g : t->gates()) {
+      if (sync.count(g) != 0) {
+        continue;  // synchronised: hiding must stay above the par
+      }
+      const bool in_l = l.count(g) != 0;
+      const bool in_r = r.count(g) != 0;
+      if (in_l == in_r) {
+        continue;  // unused (MV007's case) or used by both sides
+      }
+      const char* side = in_l ? "left" : "right";
+      emit("MV021", core::Severity::kAdvice,
+           "gate " + g + " is local to the " + side +
+               " operand of the composition; hiding it below the |[" +
+               join(child->gates()) +
+               "]| would shrink the intermediate product",
+           path + " / hide / " + side,
+           "move " + g + " into a hide inside the " + side +
+               " operand (the compositional planner applies this placement "
+               "automatically)");
+    }
+  }
+
   void check_vars(const proc::ExprPtr& e, const std::set<std::string>& bound,
                   const std::string& path) {
     for (const std::string& v : e->free_vars()) {
@@ -605,6 +641,11 @@ std::string Analysis::summary() const {
 
 std::map<std::string, GateSet> alphabets(const proc::Program& program) {
   return alphabets_impl(program, nullptr);
+}
+
+GateSet term_alphabet(const proc::TermPtr& t,
+                      const std::map<std::string, GateSet>& defs) {
+  return t == nullptr ? GateSet{} : alpha_of(t.get(), defs);
 }
 
 Analysis lint_program(const proc::Program& program, const TermPtr& root) {

@@ -32,6 +32,8 @@
 //   MV012 warning  Markovian delay cut by maximal progress (dead rate)
 //   MV013 advice   residual interactive nondeterminism (scheduler bounds)
 //   MV020 advice   fixed-delay phase-type approximation advisory
+//   MV021 advice   hide-placement: a hidden gate local to one operand of a
+//                  composition could be hidden below it (smaller products)
 //
 // Soundness directions: MV001/002/005/007/008/009 are exact (syntactic);
 // MV003/MV004's "never fires" part is sound (alphabet over-approximation),
@@ -86,6 +88,13 @@ struct Analysis {
 /// the (possibly mutually recursive) definitions of @p program.
 [[nodiscard]] std::map<std::string, GateSet> alphabets(
     const proc::Program& program);
+
+/// Over-approximate alphabet of an arbitrary subterm under the fixed point
+/// @p defs (as returned by alphabets()).  This is the stable entry point the
+/// compositional planner (compose/plan) scores composition orders with —
+/// one syntactic transfer-function application, no state-space contact.
+[[nodiscard]] GateSet term_alphabet(const proc::TermPtr& t,
+                                    const std::map<std::string, GateSet>& defs);
 
 /// Lints every definition of @p program, plus (when non-null) the anonymous
 /// root term @p root — typically the entry call an exploration would start

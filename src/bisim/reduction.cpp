@@ -1,0 +1,206 @@
+#include "bisim/reduction.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace multival::bisim {
+
+namespace {
+
+using lts::ActionId;
+using lts::ActionTable;
+using lts::StateId;
+
+constexpr StateId kUnresolved = static_cast<StateId>(-1);
+
+/// True if @p s's only move is a tau step (the state is inert).
+bool compressible(const lts::Lts& l, StateId s) {
+  const auto out = l.out(s);
+  return out.size() == 1 && ActionTable::is_tau(out[0].action);
+}
+
+}  // namespace
+
+lts::Lts tau_compress(const lts::Lts& l) {
+  const std::size_t n = l.num_states();
+  lts::Lts out;
+  if (n == 0) {
+    return out;
+  }
+
+  // rep[s]: the endpoint of the inert-tau chain starting at s.  Chains are
+  // followed iteratively with path memoisation; a chain that bites its own
+  // tail is a tau cycle, contracted to its smallest member (which keeps a
+  // tau self-loop: its one tau step leads back into the cycle, whose
+  // representative is itself).
+  std::vector<StateId> rep(n, kUnresolved);
+  std::vector<char> on_path(n, 0);
+  std::vector<StateId> path;
+  for (StateId s = 0; s < n; ++s) {
+    if (rep[s] != kUnresolved) {
+      continue;
+    }
+    path.clear();
+    StateId cur = s;
+    StateId target = kUnresolved;
+    while (true) {
+      if (rep[cur] != kUnresolved) {
+        target = rep[cur];
+        break;
+      }
+      if (!compressible(l, cur)) {
+        target = cur;
+        break;
+      }
+      if (on_path[cur]) {
+        // Tau cycle path[it..end): representative = smallest state id.
+        const auto it = std::find(path.begin(), path.end(), cur);
+        target = *std::min_element(it, path.end());
+        break;
+      }
+      on_path[cur] = 1;
+      path.push_back(cur);
+      cur = l.out(cur)[0].dst;
+    }
+    for (const StateId p : path) {
+      rep[p] = target;
+      on_path[p] = 0;
+    }
+    rep[s] = target;
+  }
+
+  // Kept states: chain endpoints, renumbered in ascending old-id order.
+  std::vector<StateId> new_id(n, kUnresolved);
+  StateId next = 0;
+  for (StateId s = 0; s < n; ++s) {
+    if (rep[s] == s) {
+      new_id[s] = next++;
+    }
+  }
+  out.add_states(next);
+  out.set_initial_state(new_id[rep[l.initial_state()]]);
+  std::vector<lts::OutEdge> edges;
+  for (StateId s = 0; s < n; ++s) {
+    if (rep[s] != s) {
+      continue;
+    }
+    edges.clear();
+    for (const auto& e : l.out(s)) {
+      edges.push_back({e.action, new_id[rep[e.dst]]});
+    }
+    std::sort(edges.begin(), edges.end(), [](const auto& a, const auto& b) {
+      return a.action != b.action ? a.action < b.action : a.dst < b.dst;
+    });
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    for (const auto& e : edges) {
+      out.add_transition(new_id[s], l.actions().name(e.action), e.dst);
+    }
+  }
+  return out;
+}
+
+lts::Lts canonical_form(const lts::Lts& l) {
+  const std::size_t n = l.num_states();
+  lts::Lts out;
+  if (n == 0) {
+    return out;
+  }
+
+  // Order actions by label text (isomorphism-invariant, unlike interning
+  // order) for use inside signatures.
+  const std::size_t num_actions = l.actions().size();
+  std::vector<ActionId> by_label(num_actions);
+  for (ActionId a = 0; a < num_actions; ++a) {
+    by_label[a] = a;
+  }
+  std::sort(by_label.begin(), by_label.end(), [&](ActionId a, ActionId b) {
+    return l.actions().name(a) < l.actions().name(b);
+  });
+  std::vector<std::uint32_t> action_rank(num_actions);
+  for (std::uint32_t i = 0; i < by_label.size(); ++i) {
+    action_rank[by_label[i]] = i;
+  }
+
+  // Iterated signature refinement.  sig_{k+1}(s) = (rank_k(s), sorted
+  // multiset of (action label rank, rank_k(dst))); new ranks are the
+  // lexicographic order of signatures, so rank 0 stays with the initial
+  // state and the whole order is isomorphism-invariant whenever refinement
+  // reaches singletons (always, on a bisimulation-minimal LTS).
+  std::vector<std::uint32_t> rank(n, 1);
+  rank[l.initial_state()] = 0;
+  std::size_t distinct = n == 1 ? 1 : 2;
+  using Sig = std::pair<std::uint32_t,
+                        std::vector<std::pair<std::uint32_t, std::uint32_t>>>;
+  while (distinct < n) {
+    std::map<Sig, std::vector<StateId>> buckets;
+    for (StateId s = 0; s < n; ++s) {
+      Sig sig{rank[s], {}};
+      for (const auto& e : l.out(s)) {
+        sig.second.emplace_back(action_rank[e.action], rank[e.dst]);
+      }
+      std::sort(sig.second.begin(), sig.second.end());
+      buckets[std::move(sig)].push_back(s);
+    }
+    if (buckets.size() == distinct) {
+      break;  // stable without reaching singletons (non-minimal input)
+    }
+    std::uint32_t next = 0;
+    for (const auto& [sig, states] : buckets) {
+      for (const StateId s : states) {
+        rank[s] = next;
+      }
+      ++next;
+    }
+    distinct = buckets.size();
+  }
+
+  // Total order: rank, ties (non-minimal inputs only) by old id.
+  std::vector<StateId> order(n);
+  for (StateId s = 0; s < n; ++s) {
+    order[s] = s;
+  }
+  std::stable_sort(order.begin(), order.end(), [&](StateId a, StateId b) {
+    return rank[a] < rank[b];
+  });
+  std::vector<StateId> new_id(n);
+  for (StateId i = 0; i < n; ++i) {
+    new_id[order[i]] = i;
+  }
+
+  // Rebuild: "i"/"exit" keep their fixed ids, every other label is interned
+  // in sorted order; per-state transitions sorted by (label rank, dst).
+  out.add_states(n);
+  out.set_initial_state(new_id[l.initial_state()]);
+  for (const ActionId a : by_label) {
+    out.actions().intern(l.actions().name(a));
+  }
+  std::vector<lts::OutEdge> edges;
+  for (StateId i = 0; i < n; ++i) {
+    const StateId s = order[i];
+    edges.clear();
+    for (const auto& e : l.out(s)) {
+      edges.push_back({e.action, new_id[e.dst]});
+    }
+    std::sort(edges.begin(), edges.end(), [&](const auto& a, const auto& b) {
+      return action_rank[a.action] != action_rank[b.action]
+                 ? action_rank[a.action] < action_rank[b.action]
+                 : a.dst < b.dst;
+    });
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    for (const auto& e : edges) {
+      out.add_transition(i, l.actions().name(e.action), e.dst);
+    }
+  }
+  return out;
+}
+
+lts::Lts canonical_minimized(const lts::Lts& l, Equivalence e) {
+  return canonical_form(minimize(l, e).quotient);
+}
+
+}  // namespace multival::bisim

@@ -2,8 +2,17 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
+#include <list>
+#include <mutex>
 #include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
 
+#include "bisim/reduction.hpp"
+#include "explore/engine.hpp"
+#include "explore/oracle.hpp"
 #include "lts/product.hpp"
 
 namespace multival::compose {
@@ -85,55 +94,165 @@ void record(EvalStats* stats, const std::string& what, const lts::Lts& l,
   stats->steps.push_back(StepStat{what, states_before, l.num_states(), seconds});
 }
 
-lts::Lts eval_node(const Node& n, bool with_min, EvalStats* stats,
-                   MinimizeCache* cache) {
-  switch (n.kind) {
-    case Node::Kind::kLeaf: {
-      const StepTimer timer;
-      lts::Lts l = n.generator();
-      record(stats, "generate " + n.name, l, l.num_states(), timer.seconds());
-      return l;
-    }
-    case Node::Kind::kPar: {
-      const lts::Lts a = eval_node(*n.children[0], with_min, stats, cache);
-      const lts::Lts b = eval_node(*n.children[1], with_min, stats, cache);
-      const StepTimer timer;
-      lts::Lts p = lts::parallel(a, b, n.gates);
-      record(stats, "compose", p, p.num_states(), timer.seconds());
-      return p;
-    }
-    case Node::Kind::kHide: {
-      lts::Lts inner = eval_node(*n.children[0], with_min, stats, cache);
-      const StepTimer timer;
-      lts::Lts h = lts::hide(inner, n.gates);
-      record(stats, "hide", h, h.num_states(), timer.seconds());
-      return h;
-    }
-    case Node::Kind::kMinimize: {
-      lts::Lts inner = eval_node(*n.children[0], with_min, stats, cache);
-      if (!with_min) {
-        return inner;
+class Evaluator {
+ public:
+  explicit Evaluator(const EvalOptions& opts) : opts_(opts) {}
+
+  lts::Lts eval(const Node& n) {
+    switch (n.kind) {
+      case Node::Kind::kLeaf: {
+        const StepTimer timer;
+        lts::Lts l = n.generator();
+        record(opts_.stats, "generate " + n.name, l, l.num_states(),
+               timer.seconds());
+        return l;
       }
-      const std::size_t before = inner.num_states();
-      const StepTimer timer;
-      if (cache != nullptr) {
-        if (std::optional<lts::Lts> cached =
-                cache->lookup(inner, n.equivalence)) {
-          record(stats, n.name + " (cached)", *cached, before,
-                 timer.seconds());
-          return *std::move(cached);
+      case Node::Kind::kPar: {
+        const lts::Lts a = eval(*n.children[0]);
+        const lts::Lts b = eval(*n.children[1]);
+        if (opts_.on_the_fly) {
+          return fly(a, b, n.gates, {});
         }
+        const StepTimer timer;
+        lts::Lts p = lts::parallel(a, b, n.gates);
+        record(opts_.stats, "compose", p, p.num_states(), timer.seconds());
+        return p;
       }
-      lts::Lts reduced =
-          bisim::minimize(inner, n.equivalence).quotient;
-      if (cache != nullptr) {
-        cache->store(inner, n.equivalence, reduced);
+      case Node::Kind::kHide: {
+        // The planner's signature shape is hide-over-par: fuse it into one
+        // on-the-fly exploration so gates hidden at this level become tau
+        // *during* product generation and their chains are never stored.
+        if (opts_.on_the_fly && n.children[0]->kind == Node::Kind::kPar) {
+          const Node& par = *n.children[0];
+          const lts::Lts a = eval(*par.children[0]);
+          const lts::Lts b = eval(*par.children[1]);
+          return fly(a, b, par.gates, n.gates);
+        }
+        lts::Lts inner = eval(*n.children[0]);
+        const StepTimer timer;
+        lts::Lts h = lts::hide(inner, n.gates);
+        if (opts_.on_the_fly) {
+          h = bisim::tau_compress(h);
+        }
+        record(opts_.stats, "hide", h, h.num_states(), timer.seconds());
+        return h;
       }
-      record(stats, n.name, reduced, before, timer.seconds());
-      return reduced;
+      case Node::Kind::kMinimize: {
+        if (opts_.with_minimization && opts_.cache != nullptr &&
+            !n.plan_key.empty()) {
+          const StepTimer timer;
+          if (std::optional<lts::Lts> cached =
+                  opts_.cache->lookup_subtree(n.plan_key)) {
+            record(opts_.stats, n.name + " (subtree cached)", *cached,
+                   cached->num_states(), timer.seconds());
+            return *std::move(cached);
+          }
+        }
+        lts::Lts inner = eval(*n.children[0]);
+        if (!opts_.with_minimization) {
+          return inner;
+        }
+        const std::size_t before = inner.num_states();
+        const StepTimer timer;
+        lts::Lts reduced;
+        bool from_cache = false;
+        if (opts_.cache != nullptr) {
+          if (std::optional<lts::Lts> cached =
+                  opts_.cache->lookup(inner, n.equivalence)) {
+            reduced = *std::move(cached);
+            from_cache = true;
+          }
+        }
+        if (!from_cache) {
+          reduced = bisim::minimize(inner, n.equivalence).quotient;
+          if (opts_.cache != nullptr) {
+            opts_.cache->store(inner, n.equivalence, reduced);
+          }
+        }
+        if (opts_.cache != nullptr && !n.plan_key.empty()) {
+          opts_.cache->store_subtree(n.plan_key, reduced);
+        }
+        record(opts_.stats, from_cache ? n.name + " (cached)" : n.name,
+               reduced, before, timer.seconds());
+        return reduced;
+      }
+    }
+    throw std::logic_error("compose::evaluate: bad node kind");
+  }
+
+ private:
+  /// On-the-fly `hide hidden in (a |[sync]| b)` with inert-tau contraction:
+  /// only the compressed product is ever stored by the engine.
+  lts::Lts fly(const lts::Lts& a, const lts::Lts& b,
+               const std::vector<std::string>& sync,
+               const std::vector<std::string>& hidden) {
+    const StepTimer timer;
+    explore::OraclePtr oracle =
+        explore::product_oracle(explore::lts_oracle(a), explore::lts_oracle(b),
+                                sync);
+    if (!hidden.empty()) {
+      oracle = explore::hide_oracle(std::move(oracle), hidden);
+    }
+    oracle = explore::tau_compress(std::move(oracle));
+    explore::ExploreOptions eo;
+    eo.workers = opts_.workers == 0 ? 1 : opts_.workers;
+    eo.max_states = opts_.max_states;
+    explore::ExploreResult r = explore::explore(*oracle, eo);
+    record(opts_.stats,
+           hidden.empty() ? "compose (on the fly)"
+                          : "compose+hide (on the fly)",
+           r.lts, r.lts.num_states(), timer.seconds());
+    return std::move(r.lts);
+  }
+
+  const EvalOptions& opts_;
+};
+
+/// Estimated resident bytes of a cached LTS (budgeting, not accounting).
+std::size_t approx_bytes(const lts::Lts& l) {
+  std::size_t bytes = 16 * l.num_states() + 12 * l.num_transitions();
+  for (lts::ActionId a = 0; a < l.actions().size(); ++a) {
+    bytes += 32 + l.actions().name(a).size();
+  }
+  return bytes;
+}
+
+/// Content key of a minimisation-cache entry: a 128-bit FNV-1a over the
+/// semantic content (initial state, transitions with label *text*), split
+/// into two independent lanes like serve::Hasher but without the serve
+/// dependency.
+std::string content_key(const lts::Lts& l, bisim::Equivalence e) {
+  std::uint64_t h1 = 1469598103934665603ull;
+  std::uint64_t h2 = 14695981039346656037ull;
+  const auto mix = [&](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      const auto byte = static_cast<std::uint64_t>((v >> (8 * i)) & 0xff);
+      h1 = (h1 ^ byte) * 1099511628211ull;
+      h2 = (h2 ^ (byte + 0x9e)) * 1099511628211ull;
+    }
+  };
+  const auto mix_str = [&](std::string_view s) {
+    mix(s.size());
+    for (const char c : s) {
+      h1 = (h1 ^ static_cast<unsigned char>(c)) * 1099511628211ull;
+      h2 = (h2 ^ (static_cast<unsigned char>(c) + 0x9e)) * 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(e));
+  mix(l.num_states());
+  mix(l.initial_state());
+  for (lts::StateId s = 0; s < l.num_states(); ++s) {
+    for (const auto& t : l.out(s)) {
+      mix(s);
+      mix_str(l.actions().name(t.action));
+      mix(t.dst);
     }
   }
-  throw std::logic_error("compose::evaluate: bad node kind");
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(h1),
+                static_cast<unsigned long long>(h2));
+  return std::string("c:") + buf;
 }
 
 }  // namespace
@@ -161,12 +280,122 @@ core::Table EvalStats::to_table(const std::string& title) const {
   return t;
 }
 
+std::optional<lts::Lts> MinimizeCache::lookup_subtree(
+    const std::string& /*plan_key*/) {
+  return std::nullopt;
+}
+
+void MinimizeCache::store_subtree(const std::string& /*plan_key*/,
+                                  const lts::Lts& /*reduced*/) {}
+
+// ---- LruMinimizeCache -------------------------------------------------------
+
+struct LruMinimizeCache::Impl {
+  struct Entry {
+    std::string key;
+    lts::Lts value;
+    std::size_t bytes = 0;
+  };
+
+  explicit Impl(std::size_t cap) : capacity(cap) {}
+
+  std::optional<lts::Lts> get(const std::string& key) {
+    const std::lock_guard<std::mutex> lock(mu);
+    const auto it = map.find(key);
+    if (it == map.end()) {
+      ++stats.misses;
+      return std::nullopt;
+    }
+    lru.splice(lru.begin(), lru, it->second);
+    ++stats.hits;
+    return it->second->value;
+  }
+
+  void put(const std::string& key, const lts::Lts& value) {
+    const std::lock_guard<std::mutex> lock(mu);
+    const std::size_t entry_bytes = approx_bytes(value);
+    if (const auto it = map.find(key); it != map.end()) {
+      bytes -= it->second->bytes;
+      lru.erase(it->second);
+      map.erase(it);
+    }
+    lru.push_front(Entry{key, value, entry_bytes});
+    map[key] = lru.begin();
+    bytes += entry_bytes;
+    ++stats.insertions;
+    while (bytes > capacity && lru.size() > 1) {
+      const Entry& victim = lru.back();
+      bytes -= victim.bytes;
+      map.erase(victim.key);
+      lru.pop_back();
+      ++stats.evictions;
+    }
+  }
+
+  std::size_t capacity;
+  mutable std::mutex mu;
+  std::list<Entry> lru;  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> map;
+  std::size_t bytes = 0;
+  Stats stats;
+};
+
+LruMinimizeCache::LruMinimizeCache(std::size_t capacity_bytes)
+    : impl_(std::make_unique<Impl>(capacity_bytes)) {}
+
+LruMinimizeCache::~LruMinimizeCache() = default;
+
+std::optional<lts::Lts> LruMinimizeCache::lookup(const lts::Lts& input,
+                                                 bisim::Equivalence e) {
+  return impl_->get(content_key(input, e));
+}
+
+void LruMinimizeCache::store(const lts::Lts& input, bisim::Equivalence e,
+                             const lts::Lts& reduced) {
+  impl_->put(content_key(input, e), reduced);
+}
+
+std::optional<lts::Lts> LruMinimizeCache::lookup_subtree(
+    const std::string& plan_key) {
+  return impl_->get("p:" + plan_key);
+}
+
+void LruMinimizeCache::store_subtree(const std::string& plan_key,
+                                     const lts::Lts& reduced) {
+  impl_->put("p:" + plan_key, reduced);
+}
+
+LruMinimizeCache::Stats LruMinimizeCache::stats() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->stats;
+}
+
+std::size_t LruMinimizeCache::entries() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->lru.size();
+}
+
+std::size_t LruMinimizeCache::bytes() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  return impl_->bytes;
+}
+
+// ---- evaluation entry points ------------------------------------------------
+
 lts::Lts evaluate(const NodePtr& root, bool with_minimization,
                   EvalStats* stats, MinimizeCache* min_cache) {
+  EvalOptions opts;
+  opts.with_minimization = with_minimization;
+  opts.stats = stats;
+  opts.cache = min_cache;
+  return evaluate(root, opts);
+}
+
+lts::Lts evaluate(const NodePtr& root, const EvalOptions& opts) {
   if (root == nullptr) {
     throw std::invalid_argument("compose::evaluate: null root");
   }
-  return eval_node(*root, with_minimization, stats, min_cache);
+  return Evaluator(opts).eval(*root);
 }
 
 Comparison compare_strategies(const NodePtr& root) {

@@ -10,6 +10,7 @@
 // how the compositional strategy controls state-space explosion.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -35,6 +36,11 @@ class Node {
   std::vector<NodePtr> children;                   // operands
   std::vector<std::string> gates;                  // kPar sync / kHide set
   bisim::Equivalence equivalence = bisim::Equivalence::kBranching;  // kMinimize
+  /// Structural identity of the subtree below this node (set by the
+  /// planner on minimisation points): a stable key derived from the source
+  /// terms, NOT from any generated LTS.  Lets a MinimizeCache skip the
+  /// entire subtree — generation included — when a re-plan reuses it.
+  std::string plan_key;
 };
 
 /// Leaf holding an already-built LTS.
@@ -87,6 +93,51 @@ class MinimizeCache {
   /// Records that minimising @p input under @p e yields @p reduced.
   virtual void store(const lts::Lts& input, bisim::Equivalence e,
                      const lts::Lts& reduced) = 0;
+
+  /// Plan-keyed tier: the minimised LTS of a whole plan subtree, addressed
+  /// by the planner's structural key (Node::plan_key).  A hit skips the
+  /// subtree's generation entirely, so subtree reuse survives re-planning.
+  /// Default: absent / dropped (content keying above still works).
+  [[nodiscard]] virtual std::optional<lts::Lts> lookup_subtree(
+      const std::string& plan_key);
+  virtual void store_subtree(const std::string& plan_key,
+                             const lts::Lts& reduced);
+};
+
+/// Byte-budgeted in-memory MinimizeCache: LRU over both keying tiers
+/// (content hash of the pre-minimisation LTS, and plan subtree keys), like
+/// serve::ResultCache but without the disk tier or the serve dependency —
+/// the default cache a dse sweep or a plan evaluation holds in process, so
+/// repeated minimisations stay bounded instead of growing with the sweep.
+class LruMinimizeCache final : public MinimizeCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  /// @p capacity_bytes bounds the estimated resident bytes of cached LTSs.
+  explicit LruMinimizeCache(std::size_t capacity_bytes = 32u << 20);
+  ~LruMinimizeCache() override;
+
+  [[nodiscard]] std::optional<lts::Lts> lookup(const lts::Lts& input,
+                                               bisim::Equivalence e) override;
+  void store(const lts::Lts& input, bisim::Equivalence e,
+             const lts::Lts& reduced) override;
+  [[nodiscard]] std::optional<lts::Lts> lookup_subtree(
+      const std::string& plan_key) override;
+  void store_subtree(const std::string& plan_key,
+                     const lts::Lts& reduced) override;
+
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] std::size_t entries() const;
+  [[nodiscard]] std::size_t bytes() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Evaluates the expression.  @p with_minimization toggles the minimisation
@@ -96,6 +147,23 @@ class MinimizeCache {
 [[nodiscard]] lts::Lts evaluate(const NodePtr& root, bool with_minimization,
                                 EvalStats* stats = nullptr,
                                 MinimizeCache* min_cache = nullptr);
+
+/// Full-control evaluation options (the planned pipeline's entry point).
+struct EvalOptions {
+  bool with_minimization = true;
+  /// Build kPar / kHide(kPar) intermediates through the explore engine with
+  /// explore::tau_compress wrapped around the product, so inert tau chains
+  /// are contracted *while the product is generated* and never stored.
+  bool on_the_fly = false;
+  /// Worker threads for on-the-fly product exploration.
+  unsigned workers = 1;
+  /// State cap per intermediate (explore::LimitExceeded beyond it).
+  std::size_t max_states = 1u << 22;
+  EvalStats* stats = nullptr;
+  MinimizeCache* cache = nullptr;
+};
+
+[[nodiscard]] lts::Lts evaluate(const NodePtr& root, const EvalOptions& opts);
 
 /// Convenience: compositional vs monolithic comparison.
 struct Comparison {

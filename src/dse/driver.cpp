@@ -228,13 +228,16 @@ SweepResult run_sweep(const SweepSpec& spec, const DriverOptions& options) {
       expand(spec, &derived_quantities, &out.pruned);
 
   // Instantiate and lint-gate every point before anything is submitted:
-  // a gated point never costs a solver run.
+  // a gated point never costs a solver run.  One bounded pipeline cache
+  // spans the whole sweep, so neighbouring points (which share most of
+  // their composed components) skip re-minimising unchanged subtrees.
+  compose::LruMinimizeCache pipeline_cache(options.pipeline_cache_bytes);
   std::vector<Instantiated> instances(points.size());
   out.points.reserve(points.size());
   for (std::size_t i = 0; i < points.size(); ++i) {
     PointResult pr;
     pr.point = points[i];
-    instances[i] = instantiate(points[i]);
+    instances[i] = instantiate(points[i], options.strategy, &pipeline_cache);
     pr.model_states = instances[i].model_states;
     pr.status = "ok";
     for (const GateModel& gate : instances[i].gates) {
@@ -249,6 +252,7 @@ SweepResult run_sweep(const SweepSpec& spec, const DriverOptions& options) {
     }
     out.points.push_back(std::move(pr));
   }
+  out.pipeline = pipeline_cache.stats();
 
   // Prepare all requests of the surviving points, computing each probe's
   // content hash locally (the same serve::prepare_request the service
@@ -410,6 +414,13 @@ std::string to_json(const SweepResult& r, bool include_timing) {
     os << "]}";
   }
   os << "\n  ]";
+  // Instantiation-side pipeline cache counters: driven only by the (fully
+  // deterministic) expansion order, so they are stable across backends,
+  // worker counts and reruns.
+  os << ",\n  \"pipeline\": {\"hits\": " << r.pipeline.hits
+     << ", \"misses\": " << r.pipeline.misses
+     << ", \"insertions\": " << r.pipeline.insertions
+     << ", \"evictions\": " << r.pipeline.evictions << "}";
   if (r.have_service_metrics) {
     // The reuse total (cache hits + coalesced joins) is deterministic; the
     // split between the two depends on scheduling, so it rides with timing.

@@ -50,6 +50,12 @@ struct DriverOptions {
   /// Submissions of the full probe set; passes beyond the first are served
   /// from the cache (bench_dse uses this to generate cache-hit traffic).
   unsigned repeat = 1;
+  /// How the probe payload LTSs are built: planned generate–minimise–
+  /// compose (default) or the monolithic flat baseline (`dse --flat`).
+  compose::Strategy strategy = compose::Strategy::kPlanned;
+  /// Byte budget of the pipeline (minimisation/subtree) cache shared by all
+  /// points of the sweep.
+  std::size_t pipeline_cache_bytes = 32u << 20;
 };
 
 /// Provenance of one serve request derived from a point.
@@ -97,6 +103,9 @@ struct SweepResult {
   bool have_service_metrics = false;  ///< in-process backend only
   serve::ServiceMetrics service;
   SolveAggregate solver;
+  /// Counters of the sweep-wide pipeline cache (instantiation reuses
+  /// minimised components across points; deterministic, both backends).
+  compose::LruMinimizeCache::Stats pipeline;
   double wall_ms = 0.0;
 
   /// True when every evaluated point reached "ok".

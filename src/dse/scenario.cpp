@@ -51,7 +51,8 @@ Probe imc_probe(std::string name, serve::Verb verb, std::string arg,
   return probe;
 }
 
-Instantiated instantiate_noc(const Point& p) {
+Instantiated instantiate_noc(const Point& p, compose::Strategy strategy,
+                             compose::MinimizeCache* cache) {
   check_axes(p, {"width", "height", "buffer", "src", "dst", "inject_rate",
                  "link_rate", "eject_rate"});
   noc::MeshDims dims;
@@ -88,19 +89,22 @@ Instantiated instantiate_noc(const Point& p) {
   inst.probes.push_back(imc_probe(
       "latency", serve::Verb::kBounds, "",
       core::decorate_with_rates(
-          noc::single_packet_lts(src, dst, /*hide_links=*/false, dims),
+          noc::single_packet_lts(src, dst, /*hide_links=*/false, dims,
+                                 strategy, cache),
           table)));
   // Arbitration races (two packets for one output port) are resolved
   // uniformly, matching noc::delivery_throughput.
   inst.probes.push_back(imc_probe(
       "throughput", serve::Verb::kThroughput, "uniform:LO*",
       core::decorate_with_rates(
-          noc::stream_lts({noc::Flow{src, dst}}, /*hide_links=*/false, dims),
+          noc::stream_lts({noc::Flow{src, dst}}, /*hide_links=*/false, dims,
+                          strategy, cache),
           table)));
   return inst;
 }
 
-Instantiated instantiate_fame(const Point& p) {
+Instantiated instantiate_fame(const Point& p, compose::Strategy strategy,
+                              compose::MinimizeCache* cache) {
   check_axes(p, {"protocol", "topology", "mpi", "rounds", "base_rate"});
   fame::PingPongConfig config;
   const std::string protocol = p.get_word("protocol", "msi");
@@ -143,11 +147,13 @@ Instantiated instantiate_fame(const Point& p) {
                                           config.base_rate);
   inst.probes.push_back(
       imc_probe("latency", serve::Verb::kBounds, "",
-                core::decorate_with_rates(fame::pingpong_lts(config), rates)));
+                core::decorate_with_rates(
+                    fame::pingpong_lts(config, strategy, cache), rates)));
   return inst;
 }
 
-Instantiated instantiate_xstream(const Point& p) {
+Instantiated instantiate_xstream(const Point& p, compose::Strategy strategy,
+                                 compose::MinimizeCache* cache) {
   check_axes(p, {"capacity", "items", "push_rate", "net_rate", "credit_rate",
                  "pop_rate"});
   xstream::QueueConfig cfg;
@@ -177,8 +183,8 @@ Instantiated instantiate_xstream(const Point& p) {
                         "DrainScenario"});
   inst.probes.push_back(imc_probe(
       "latency", serve::Verb::kBounds, "",
-      core::decorate_with_rates(xstream::drain_scenario_lts(cfg, items),
-                                rates)));
+      core::decorate_with_rates(
+          xstream::drain_scenario_lts(cfg, items, strategy, cache), rates)));
   // The continuous-queue throughput sub-model does not depend on the
   // 'items' axis: points differing only in items share this payload, and
   // the sweep must solve it exactly once (content-addressed cache).
@@ -216,14 +222,15 @@ bool known_family(const std::string& family) {
   return family == "noc" || family == "fame" || family == "xstream";
 }
 
-Instantiated instantiate(const Point& point) {
+Instantiated instantiate(const Point& point, compose::Strategy strategy,
+                         compose::MinimizeCache* cache) {
   Instantiated inst;
   if (point.family == "noc") {
-    inst = instantiate_noc(point);
+    inst = instantiate_noc(point, strategy, cache);
   } else if (point.family == "fame") {
-    inst = instantiate_fame(point);
+    inst = instantiate_fame(point, strategy, cache);
   } else if (point.family == "xstream") {
-    inst = instantiate_xstream(point);
+    inst = instantiate_xstream(point, strategy, cache);
   } else {
     throw SpecError("point " + point.id + ": unknown family '" + point.family +
                     "' (known: noc, fame, xstream)");

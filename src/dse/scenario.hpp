@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "compose/plan.hpp"
 #include "dse/grid.hpp"
 #include "proc/process.hpp"
 #include "serve/protocol.hpp"
@@ -75,8 +76,14 @@ struct Metrics {
 
 /// Builds gate models and probes for @p point.  Throws SpecError on an
 /// unknown family, unknown axis, or an axis value outside the generator's
-/// documented range.
-[[nodiscard]] Instantiated instantiate(const Point& point);
+/// documented range.  The probe payload LTSs are built with @p strategy
+/// (planned generate–minimise–compose by default; kFlat is the monolithic
+/// baseline) and, when @p cache is non-null, share its minimisation/subtree
+/// entries across the sweep's points.
+[[nodiscard]] Instantiated instantiate(
+    const Point& point,
+    compose::Strategy strategy = compose::Strategy::kPlanned,
+    compose::MinimizeCache* cache = nullptr);
 
 /// Folds the solved probe bodies (keyed by probe name) into the metric
 /// vector.  Throws std::runtime_error when a body does not parse.

@@ -1,8 +1,10 @@
 #include "explore/oracle.hpp"
 
+#include <algorithm>
 #include <cstdint>
 #include <sstream>
 #include <stdexcept>
+#include <unordered_map>
 #include <unordered_set>
 #include <utility>
 
@@ -238,6 +240,82 @@ class HideOracle final : public SuccessorOracle {
   std::unordered_set<std::string> hidden_;
 };
 
+class TauCompressOracle final : public SuccessorOracle {
+ public:
+  explicit TauCompressOracle(OraclePtr inner) : inner_(std::move(inner)) {}
+
+  std::string initial() override { return rep(inner_->initial()); }
+
+  void successors(std::string_view state, std::vector<Step>& out) override {
+    // @p state is always a chain endpoint (initial() and every emitted dst
+    // are), so its own transitions are forwarded, only dsts are contracted.
+    scratch_.clear();
+    inner_->successors(state, scratch_);
+    const std::size_t first = out.size();
+    for (Step& s : scratch_) {
+      Step mapped{std::move(s.label), rep(s.dst)};
+      // Contraction can alias previously distinct successors; keep the
+      // first occurrence (inner order is deterministic, so this is too).
+      bool dup = false;
+      for (std::size_t i = first; i < out.size() && !dup; ++i) {
+        dup = out[i].label == mapped.label && out[i].dst == mapped.dst;
+      }
+      if (!dup) {
+        out.push_back(std::move(mapped));
+      }
+    }
+  }
+
+  OraclePtr clone() const override {
+    return std::make_unique<TauCompressOracle>(inner_->clone());
+  }
+
+ private:
+  /// Endpoint of the inert-tau chain starting at @p start: follows unique
+  /// tau steps until a non-inert state, a memoised endpoint, or a cycle
+  /// (contracted to its lexicographically smallest member, which then
+  /// carries a tau self-loop).  All chain members are memoised.
+  std::string rep(const std::string& start) {
+    if (const auto it = rep_.find(start); it != rep_.end()) {
+      return it->second;
+    }
+    std::vector<std::string> path;
+    std::unordered_set<std::string> on_path;
+    std::string cur = start;
+    std::string target;
+    while (true) {
+      if (const auto it = rep_.find(cur); it != rep_.end()) {
+        target = it->second;
+        break;
+      }
+      chain_.clear();
+      inner_->successors(cur, chain_);
+      if (chain_.size() != 1 || chain_[0].label != "i") {
+        target = std::move(cur);
+        break;
+      }
+      if (on_path.find(cur) != on_path.end()) {
+        const auto pos = std::find(path.begin(), path.end(), cur);
+        target = *std::min_element(pos, path.end());
+        break;
+      }
+      on_path.insert(cur);
+      path.push_back(cur);
+      cur = std::move(chain_[0].dst);
+    }
+    for (std::string& p : path) {
+      rep_.emplace(std::move(p), target);
+    }
+    rep_.emplace(start, target);
+    return target;
+  }
+
+  OraclePtr inner_;
+  std::unordered_map<std::string, std::string> rep_;
+  std::vector<Step> scratch_;
+  std::vector<Step> chain_;
+};
+
 }  // namespace
 
 OraclePtr lts_oracle(const lts::Lts& l) {
@@ -262,6 +340,13 @@ OraclePtr hide_oracle(OraclePtr inner, std::vector<std::string> gates) {
     throw std::invalid_argument("hide_oracle: null operand");
   }
   return std::make_unique<HideOracle>(std::move(inner), std::move(gates));
+}
+
+OraclePtr tau_compress(OraclePtr inner) {
+  if (inner == nullptr) {
+    throw std::invalid_argument("tau_compress: null operand");
+  }
+  return std::make_unique<TauCompressOracle>(std::move(inner));
 }
 
 }  // namespace multival::explore

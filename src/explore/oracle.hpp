@@ -61,6 +61,16 @@ using OraclePtr = std::unique_ptr<SuccessorOracle>;
 [[nodiscard]] OraclePtr hide_oracle(OraclePtr inner,
                                     std::vector<std::string> gates);
 
+/// On-the-fly inert-tau chain contraction (the oracle form of
+/// bisim::tau_compress): every successor whose unique outgoing transition
+/// is tau is replaced by the endpoint of its tau chain, so inert chains are
+/// never stored by the engine at all.  Tau cycles made of such states
+/// contract to their lexicographically smallest member, which keeps a tau
+/// self-loop — the reduction preserves divergence-preserving branching
+/// bisimilarity.  Chain endpoints are memoised per oracle; clones recompute
+/// but, like every oracle, produce byte-identical encodings.
+[[nodiscard]] OraclePtr tau_compress(OraclePtr inner);
+
 /// Views an IMC as an LTS-level oracle: interactive transitions keep their
 /// label, Markovian transitions become "rate r" / "LABEL; rate r" labels
 /// (the imc_io convention), so an on-the-fly composition of IMCs can be

@@ -1,5 +1,6 @@
 #include "fame/coherence_n.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -351,12 +352,20 @@ proc::Program coherence_system_n_program(Protocol protocol, int nodes) {
   return p;
 }
 
-lts::Lts coherence_system_n_lts(Protocol protocol, int nodes) {
-  const Program p = coherence_system_n_program(protocol, nodes);
+lts::Lts coherence_system_n_lts(Protocol protocol, int nodes,
+                                compose::Strategy strategy,
+                                compose::MinimizeCache* cache) {
+  auto p = std::make_shared<const Program>(
+      coherence_system_n_program(protocol, nodes));
   return core::timed_generation(
       std::string("fame: coherence system (") + to_string(protocol) + ", " +
           std::to_string(nodes) + " nodes)",
-      [&] { return lts::trim(generate(p, "SystemN")).lts; });
+      [&] {
+        if (strategy == compose::Strategy::kFlat) {
+          return lts::trim(generate(*p, "SystemN")).lts;
+        }
+        return compose::pipeline_lts(p, "SystemN", strategy, {}, cache);
+      });
 }
 
 }  // namespace multival::fame

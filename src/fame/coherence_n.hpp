@@ -10,6 +10,7 @@
 
 #include <string>
 
+#include "compose/plan.hpp"
 #include "fame/coherence.hpp"
 #include "lts/lts.hpp"
 #include "proc/process.hpp"
@@ -28,8 +29,14 @@ namespace multival::fame {
 [[nodiscard]] proc::Program coherence_system_n_program(Protocol protocol,
                                                       int nodes);
 
-/// Generated LTS of coherence_system_n_program (trimmed); generation time
-/// is recorded in core::report's generation log.
-[[nodiscard]] lts::Lts coherence_system_n_lts(Protocol protocol, int nodes);
+/// LTS of coherence_system_n_program; generation time is recorded in
+/// core::report's generation log.  The default strategy plans the
+/// composition (generate–minimise–compose) and returns the canonical
+/// minimal LTS; Strategy::kFlat is the legacy monolithic generation
+/// (trimmed, unminimised).
+[[nodiscard]] lts::Lts coherence_system_n_lts(
+    Protocol protocol, int nodes,
+    compose::Strategy strategy = compose::Strategy::kPlanned,
+    compose::MinimizeCache* cache = nullptr);
 
 }  // namespace multival::fame

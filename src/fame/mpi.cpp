@@ -1,6 +1,7 @@
 #include "fame/mpi.hpp"
 
 #include <functional>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -150,9 +151,13 @@ Program pingpong_program(const PingPongConfig& config) {
   return p;
 }
 
-lts::Lts pingpong_lts(const PingPongConfig& config) {
-  const Program p = pingpong_program(config);
-  return lts::trim(generate(p, "PingPong")).lts;
+lts::Lts pingpong_lts(const PingPongConfig& config, compose::Strategy strategy,
+                      compose::MinimizeCache* cache) {
+  auto p = std::make_shared<const Program>(pingpong_program(config));
+  if (strategy == compose::Strategy::kFlat) {
+    return lts::trim(generate(*p, "PingPong")).lts;
+  }
+  return compose::pipeline_lts(p, "PingPong", strategy, {}, cache);
 }
 
 lts::Lts barrier_lts(const BarrierConfig& config) {

@@ -14,6 +14,7 @@
 // transaction over MSI.
 #pragma once
 
+#include "compose/plan.hpp"
 #include "fame/coherence.hpp"
 #include "fame/topology.hpp"
 #include "lts/lts.hpp"
@@ -39,7 +40,12 @@ struct PingPongConfig {
 
 /// Functional LTS of the ping-pong scenario (mailbox line "M", scratch
 /// lines "S0"/"S1", token gates hidden); terminates after config.rounds.
-[[nodiscard]] lts::Lts pingpong_lts(const PingPongConfig& config);
+/// The default strategy plans the composition and returns the canonical
+/// minimal LTS; Strategy::kFlat is the legacy monolithic generation.
+[[nodiscard]] lts::Lts pingpong_lts(
+    const PingPongConfig& config,
+    compose::Strategy strategy = compose::Strategy::kPlanned,
+    compose::MinimizeCache* cache = nullptr);
 
 struct PingPongResult {
   double total_time = 0.0;     ///< expected time for all rounds

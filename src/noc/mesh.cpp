@@ -1,5 +1,6 @@
 #include "noc/mesh.hpp"
 
+#include <memory>
 #include <stdexcept>
 
 #include "core/report.hpp"
@@ -131,12 +132,19 @@ proc::Program single_packet_program(int src, int dst, bool hide_links,
 }
 
 lts::Lts single_packet_lts(int src, int dst, bool hide_links,
-                           const MeshDims& dims) {
-  const Program p = single_packet_program(src, dst, hide_links, dims);
+                           const MeshDims& dims, compose::Strategy strategy,
+                           compose::MinimizeCache* cache) {
+  auto p = std::make_shared<const Program>(
+      single_packet_program(src, dst, hide_links, dims));
   return core::timed_generation(
       "noc: single packet " + std::to_string(src) + "->" +
           std::to_string(dst),
-      [&] { return lts::trim(generate(p, "Scenario")).lts; });
+      [&] {
+        if (strategy == compose::Strategy::kFlat) {
+          return lts::trim(generate(*p, "Scenario")).lts;
+        }
+        return compose::pipeline_lts(p, "Scenario", strategy, {}, cache);
+      });
 }
 
 proc::Program stream_program(const std::vector<Flow>& flows, bool hide_links,
@@ -167,11 +175,18 @@ proc::Program stream_program(const std::vector<Flow>& flows, bool hide_links,
 }
 
 lts::Lts stream_lts(const std::vector<Flow>& flows, bool hide_links,
-                    const MeshDims& dims) {
-  const Program p = stream_program(flows, hide_links, dims);
+                    const MeshDims& dims, compose::Strategy strategy,
+                    compose::MinimizeCache* cache) {
+  auto p = std::make_shared<const Program>(
+      stream_program(flows, hide_links, dims));
   return core::timed_generation(
       "noc: stream (" + std::to_string(flows.size()) + " flows)",
-      [&] { return lts::trim(generate(p, "Scenario")).lts; });
+      [&] {
+        if (strategy == compose::Strategy::kFlat) {
+          return lts::trim(generate(*p, "Scenario")).lts;
+        }
+        return compose::pipeline_lts(p, "Scenario", strategy, {}, cache);
+      });
 }
 
 }  // namespace multival::noc

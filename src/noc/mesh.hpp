@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "compose/plan.hpp"
 #include "lts/lts.hpp"
 #include "noc/router.hpp"
 #include "proc/process.hpp"
@@ -29,9 +30,10 @@ namespace multival::noc {
 [[nodiscard]] proc::Program single_packet_program(int src, int dst,
                                                   bool hide_links = true,
                                                   const MeshDims& dims = {});
-[[nodiscard]] lts::Lts single_packet_lts(int src, int dst,
-                                         bool hide_links = true,
-                                         const MeshDims& dims = {});
+[[nodiscard]] lts::Lts single_packet_lts(
+    int src, int dst, bool hide_links = true, const MeshDims& dims = {},
+    compose::Strategy strategy = compose::Strategy::kPlanned,
+    compose::MinimizeCache* cache = nullptr);
 
 /// A continuous flow src -> dst (inject, wait for delivery, repeat).
 struct Flow {
@@ -43,8 +45,10 @@ struct Flow {
 [[nodiscard]] proc::Program stream_program(const std::vector<Flow>& flows,
                                            bool hide_links = true,
                                            const MeshDims& dims = {});
-[[nodiscard]] lts::Lts stream_lts(const std::vector<Flow>& flows,
-                                  bool hide_links = true,
-                                  const MeshDims& dims = {});
+[[nodiscard]] lts::Lts stream_lts(
+    const std::vector<Flow>& flows, bool hide_links = true,
+    const MeshDims& dims = {},
+    compose::Strategy strategy = compose::Strategy::kPlanned,
+    compose::MinimizeCache* cache = nullptr);
 
 }  // namespace multival::noc

@@ -315,4 +315,32 @@ void PipelineCache::store(const lts::Lts& input, bisim::Equivalence e,
   cache_.insert(key_of(input, e), std::move(os).str());
 }
 
+CacheKey PipelineCache::subtree_key_of(const std::string& plan_key) {
+  Hasher h;
+  h.str("plan-subtree-v1");
+  h.str(plan_key);
+  return h.key();
+}
+
+std::optional<lts::Lts> PipelineCache::lookup_subtree(
+    const std::string& plan_key) {
+  std::optional<std::string> payload = cache_.lookup(subtree_key_of(plan_key));
+  if (!payload.has_value()) {
+    return std::nullopt;
+  }
+  std::istringstream is(*payload);
+  try {
+    return explore::read_lts_stream(is);
+  } catch (const std::runtime_error&) {
+    return std::nullopt;  // corrupt payload: fall back to re-evaluating
+  }
+}
+
+void PipelineCache::store_subtree(const std::string& plan_key,
+                                  const lts::Lts& reduced) {
+  std::ostringstream os;
+  explore::write_lts_stream(os, reduced);
+  cache_.insert(subtree_key_of(plan_key), std::move(os).str());
+}
+
 }  // namespace multival::serve

@@ -99,12 +99,21 @@ class PipelineCache final : public compose::MinimizeCache {
   void store(const lts::Lts& input, bisim::Equivalence e,
              const lts::Lts& reduced) override;
 
+  /// Plan-keyed subtree tier (compose::Plan sets Node::plan_key): whole
+  /// minimised subtrees addressed by their *structural* key, so re-planning
+  /// a changed model skips generation of every untouched subtree.
+  [[nodiscard]] std::optional<lts::Lts> lookup_subtree(
+      const std::string& plan_key) override;
+  void store_subtree(const std::string& plan_key,
+                     const lts::Lts& reduced) override;
+
   [[nodiscard]] std::uint64_t hits() const { return cache_.stats().hits; }
   [[nodiscard]] std::uint64_t misses() const { return cache_.stats().misses; }
   [[nodiscard]] ResultCache& result_cache() { return cache_; }
 
  private:
   static CacheKey key_of(const lts::Lts& input, bisim::Equivalence e);
+  static CacheKey subtree_key_of(const std::string& plan_key);
 
   ResultCache cache_;
 };

@@ -65,11 +65,74 @@ core::Table ServiceMetrics::to_table() const {
                  std::to_string(cache.disk_writes) + " / " +
                  std::to_string(cache.disk_errors)});
   t.add_row({"cache tmp files swept", std::to_string(cache.tmp_swept)});
+  t.add_row({"pipeline cache hits/misses", std::to_string(pipeline.hits) +
+                                               " / " +
+                                               std::to_string(pipeline.misses)});
+  t.add_row({"pipeline cache insertions/evictions",
+             std::to_string(pipeline.insertions) + " / " +
+                 std::to_string(pipeline.evictions)});
   return t;
 }
 
+std::string ServiceMetrics::to_json() const {
+  std::string s = "{";
+  const auto u64 = [&s](const char* k, std::uint64_t v) {
+    s += "\"";
+    s += k;
+    s += "\":";
+    s += std::to_string(v);
+    s += ",";
+  };
+  const auto ms = [&s](const char* k, double v) {
+    s += "\"";
+    s += k;
+    s += "\":";
+    s += core::fmt(v, 3);
+    s += ",";
+  };
+  u64("accepted", accepted);
+  u64("completed_ok", completed_ok);
+  u64("failed", failed);
+  u64("invalid", invalid);
+  u64("shed", shed);
+  u64("timed_out", timed_out);
+  u64("coalesced", coalesced);
+  u64("cache_hits", cache_hits);
+  u64("solves", solves);
+  u64("solve_errors", solve_errors);
+  u64("batches", batches);
+  u64("batched", batched);
+  u64("max_batch", max_batch);
+  ms("queue_wait_p50_ms", queue_wait_p50_ms);
+  ms("queue_wait_p99_ms", queue_wait_p99_ms);
+  ms("solve_p50_ms", solve_p50_ms);
+  ms("solve_p99_ms", solve_p99_ms);
+  ms("latency_p50_ms", latency_p50_ms);
+  ms("latency_p99_ms", latency_p99_ms);
+  const auto tier = [&](const char* name, const ResultCache::Stats& c) {
+    s += "\"";
+    s += name;
+    s += "\":{";
+    s += "\"hits\":" + std::to_string(c.hits) + ",";
+    s += "\"misses\":" + std::to_string(c.misses) + ",";
+    s += "\"insertions\":" + std::to_string(c.insertions) + ",";
+    s += "\"evictions\":" + std::to_string(c.evictions) + ",";
+    s += "\"disk_hits\":" + std::to_string(c.disk_hits) + ",";
+    s += "\"disk_writes\":" + std::to_string(c.disk_writes) + ",";
+    s += "\"disk_errors\":" + std::to_string(c.disk_errors) + ",";
+    s += "\"tmp_swept\":" + std::to_string(c.tmp_swept) + "}";
+  };
+  tier("result_cache", cache);
+  s += ",";
+  tier("pipeline_cache", pipeline);
+  s += "}";
+  return s;
+}
+
 Service::Service(ServiceOptions opts)
-    : opts_(std::move(opts)), cache_(opts_.cache) {
+    : opts_(std::move(opts)),
+      cache_(opts_.cache),
+      pipeline_cache_(opts_.pipeline_cache) {
   const unsigned n =
       opts_.workers == 0 ? core::parallel_threads() : opts_.workers;
   workers_.reserve(n);
@@ -108,7 +171,9 @@ void Service::submit_async(Request r, std::function<void(Response)> done) {
     return;
   }
   if (r.verb == Verb::kStats) {
-    done(Response{r.id, Status::kOk, metrics().to_table().to_string()});
+    const ServiceMetrics m = metrics();
+    done(Response{r.id, Status::kOk,
+                  r.arg == "json" ? m.to_json() : m.to_table().to_string()});
     return;
   }
   if (!is_solve_verb(r.verb)) {
@@ -373,6 +438,7 @@ ServiceMetrics Service::metrics() const {
     latency = latency_ms_;
   }
   m.cache = cache_.stats();
+  m.pipeline = pipeline_cache_.result_cache().stats();
   m.queue_wait_p50_ms = percentile(queue_wait, 0.50);
   m.queue_wait_p99_ms = percentile(std::move(queue_wait), 0.99);
   m.solve_p50_ms = percentile(solve, 0.50);

@@ -1,5 +1,6 @@
 #include "xstream/queue_model.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -204,12 +205,19 @@ Program drain_scenario_program(const QueueConfig& cfg, int items) {
   return p;
 }
 
-lts::Lts drain_scenario_lts(const QueueConfig& cfg, int items) {
-  const Program p = drain_scenario_program(cfg, items);
+lts::Lts drain_scenario_lts(const QueueConfig& cfg, int items,
+                            compose::Strategy strategy,
+                            compose::MinimizeCache* cache) {
+  auto p = std::make_shared<const Program>(drain_scenario_program(cfg, items));
   return core::timed_generation(
       "xstream: drain scenario (cap " + std::to_string(cfg.capacity) +
           ", items " + std::to_string(items) + ")",
-      [&] { return lts::trim(generate(p, "DrainScenario")).lts; });
+      [&] {
+        if (strategy == compose::Strategy::kFlat) {
+          return lts::trim(generate(*p, "DrainScenario")).lts;
+        }
+        return compose::pipeline_lts(p, "DrainScenario", strategy, {}, cache);
+      });
 }
 
 lts::Lts virtual_queue_lts_open(const QueueConfig& cfg) {

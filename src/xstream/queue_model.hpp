@@ -21,6 +21,7 @@
 
 #include <string>
 
+#include "compose/plan.hpp"
 #include "lts/lts.hpp"
 #include "proc/process.hpp"
 
@@ -60,7 +61,10 @@ struct QueueConfig {
 /// transfer time of an @p items-packet burst.  All gates stay visible.
 [[nodiscard]] proc::Program drain_scenario_program(const QueueConfig& cfg,
                                                    int items);
-[[nodiscard]] lts::Lts drain_scenario_lts(const QueueConfig& cfg, int items);
+[[nodiscard]] lts::Lts drain_scenario_lts(
+    const QueueConfig& cfg, int items,
+    compose::Strategy strategy = compose::Strategy::kPlanned,
+    compose::MinimizeCache* cache = nullptr);
 
 /// Reference service specification: a plain FIFO of capacity
 /// cfg.capacity + 1 (pop FIFO plus the one-packet push stage) over the same

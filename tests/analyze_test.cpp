@@ -160,6 +160,39 @@ TEST(LintGolden, Mv008SyncOnGateHiddenInsideOperand) {
   EXPECT_TRUE(has_code(a, "MV008"));
 }
 
+TEST(LintGolden, Mv021HidePlacementAdvice) {
+  // G is local to the left operand and not synchronised: the hide can be
+  // pushed into that operand before the product is built.
+  const auto a = lint_text(R"(
+    process A := G ; S ; A endproc
+    process B := S ; B endproc
+    process Sys := hide G in (A |[S]| B) endproc
+  )");
+  EXPECT_TRUE(a.clean());
+  const auto& d = first(a, "MV021");
+  EXPECT_EQ(d.severity, core::Severity::kAdvice);
+  EXPECT_NE(d.message.find("left"), std::string::npos);
+  EXPECT_NE(d.hint.find("planner"), std::string::npos);
+}
+
+TEST(LintGolden, Mv021SilentWhenSynchronisedOrShared) {
+  // Synchronised gate: the hide must stay above the par.
+  const auto sync = lint_text(R"(
+    process A := G ; A endproc
+    process B := G ; B endproc
+    process Sys := hide G in (A |[G]| B) endproc
+  )");
+  EXPECT_FALSE(has_code(sync, "MV021"));
+  // Interleaved but used by both operands: pushing the hide into one side
+  // would change the other's alphabet, so no advice either.
+  const auto shared = lint_text(R"(
+    process A := G ; S ; A endproc
+    process B := G ; S ; B endproc
+    process Sys := hide G in (A |[S]| B) endproc
+  )");
+  EXPECT_FALSE(has_code(shared, "MV021"));
+}
+
 TEST(LintGolden, Mv009UnboundValueVariable) {
   const auto a = lint_text("process P := OUT !x ; stop endproc");
   EXPECT_FALSE(a.clean());

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include "bisim/equivalence.hpp"
+#include "compose/plan.hpp"
 #include "fame/coherence.hpp"
 #include "imc/scheduler.hpp"
 #include "fame/mpi.hpp"
@@ -28,7 +29,14 @@ TEST(Golden, T1StateSpaces) {
   q.capacity = 3;
   EXPECT_EQ(xstream::virtual_queue_lts(q).num_states(), 78u);
   EXPECT_EQ(noc::router_lts(0).num_states(), 360u);
-  EXPECT_EQ(noc::single_packet_lts(0, 3).num_states(), 8u);
+  // The T1 number documents *monolithic* generation; the default pipeline
+  // is now the planned compositional one, which returns the canonical
+  // divbranching-minimal LTS.
+  EXPECT_EQ(noc::single_packet_lts(0, 3, /*hide_links=*/true, {},
+                                   compose::Strategy::kFlat)
+                .num_states(),
+            8u);
+  EXPECT_EQ(noc::single_packet_lts(0, 3).num_states(), 3u);
   EXPECT_EQ(fame::coherence_system_lts(fame::Protocol::kMsi).num_states(),
             332u);
   EXPECT_EQ(fame::coherence_system_lts(fame::Protocol::kMesi).num_states(),
@@ -48,7 +56,8 @@ TEST(Golden, T2Minimisation) {
   EXPECT_EQ(bisim::minimize(mesi, bisim::Equivalence::kStrong)
                 .quotient.num_states(),
             140u);
-  const auto flows = noc::stream_lts({{0, 3}, {1, 3}});
+  const auto flows = noc::stream_lts({{0, 3}, {1, 3}}, /*hide_links=*/true,
+                                     {}, compose::Strategy::kFlat);
   EXPECT_EQ(bisim::minimize(flows, bisim::Equivalence::kBranching)
                 .quotient.num_states(),
             4u);
