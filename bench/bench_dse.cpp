@@ -18,9 +18,12 @@
 //        -j N  --repeat N  --json PATH  --serve-json PATH
 #include <fstream>
 #include <iostream>
+#include <iterator>
+#include <map>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "cli_util.hpp"
 #include "core/parallel.hpp"
@@ -57,6 +60,21 @@ std::string dse_json(const dse::SweepResult& r, unsigned repeat,
      << "  \"pruned\": " << r.pruned << ",\n"
      << "  \"evaluated\": " << r.points.size() << ",\n"
      << "  \"front_size\": " << r.front.size() << ",\n"
+     << "  \"families\": {\n";
+  // Per-family slice: how much of the grid each generator family
+  // contributes, and how many of its points survive to the Pareto front.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> families;
+  for (const dse::PointResult& p : r.points) {
+    auto& [evaluated, on_front] = families[p.point.family];
+    ++evaluated;
+    if (p.rank == 0) ++on_front;
+  }
+  for (auto it = families.begin(); it != families.end(); ++it) {
+    os << "    \"" << it->first << "\": {\"evaluated\": " << it->second.first
+       << ", \"on_front\": " << it->second.second << "}"
+       << (std::next(it) == families.end() ? "\n" : ",\n");
+  }
+  os << "  },\n"
      << "  \"probes_per_pass\": " << r.probes_submitted << ",\n"
      << "  \"repeat\": " << repeat << ",\n"
      << "  \"distinct_keys\": " << r.distinct_keys << ",\n"

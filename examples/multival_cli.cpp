@@ -43,6 +43,12 @@
 //       [--json PATH] [--csv PATH] [--no-timing] [--flat]
 //       (a comma-separated --socket list routes probes over the replicas
 //        by content hash — see serve::Router)
+//   multival_cli xmas (<file.xmas> | --builtin <name> [--capacity N])
+//       [--lint | --compile | --solve] [--items N] [--json] [--strict]
+//       [--flat] [-o out.proc]
+//       (--lint is the default: MV030-033 structural checks, zero states;
+//        --compile prints the lowered proc program; --solve runs the
+//        steady-state throughput probe, plus burst latency with --items)
 #include <charconv>
 #include <cmath>
 #include <fstream>
@@ -83,6 +89,10 @@
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "serve/service.hpp"
+#include "serve/solvers.hpp"
+#include "xmas/compile.hpp"
+#include "xmas/netlist.hpp"
+#include "xmas/parser.hpp"
 
 namespace {
 
@@ -443,58 +453,111 @@ struct BuiltinModel {
   proc::Program program;
 };
 
-const std::vector<std::string>& builtin_names() {
-  static const std::vector<std::string> names = {
-      "fame-msi",        "fame-mesi",           "fame-msi-3",
-      "fame-mesi-3",     "noc-mesh",            "noc-mesh-3x3",
-      "noc-single-packet", "noc-stream",
-      "xstream",         "xstream-lost-credit", "xstream-eager-credit",
+BuiltinModel xmas_builtin(const char* fabric) {
+  const xmas::Compiled c = xmas::compile(xmas::builtin_fabric(fabric));
+  return {c.entry, *c.program};
+}
+
+/// THE registry: every builtin model the CLI knows, in one table, so the
+/// name list, the lookup and the help/error text cannot drift apart.
+struct BuiltinSpec {
+  const char* name;
+  BuiltinModel (*build)();
+};
+
+const std::vector<BuiltinSpec>& builtin_registry() {
+  static const std::vector<BuiltinSpec> registry = {
+      {"fame-msi",
+       [] {
+         return BuiltinModel{
+             "System", fame::coherence_system_program(fame::Protocol::kMsi)};
+       }},
+      {"fame-mesi",
+       [] {
+         return BuiltinModel{
+             "System", fame::coherence_system_program(fame::Protocol::kMesi)};
+       }},
+      {"fame-msi-3",
+       [] {
+         return BuiltinModel{
+             "SystemN",
+             fame::coherence_system_n_program(fame::Protocol::kMsi, 3)};
+       }},
+      {"fame-mesi-3",
+       [] {
+         return BuiltinModel{
+             "SystemN",
+             fame::coherence_system_n_program(fame::Protocol::kMesi, 3)};
+       }},
+      {"noc-mesh", [] { return BuiltinModel{"Mesh", noc::mesh_program()}; }},
+      {"noc-mesh-3x3",
+       [] {
+         return BuiltinModel{
+             "Scenario", noc::single_packet_program(0, 8, /*hide_links=*/true,
+                                                    noc::MeshDims{3, 3})};
+       }},
+      {"noc-single-packet",
+       [] {
+         return BuiltinModel{"Scenario", noc::single_packet_program(0, 3)};
+       }},
+      {"noc-stream",
+       [] {
+         return BuiltinModel{"Scenario",
+                             noc::stream_program({noc::Flow{0, 3}})};
+       }},
+      {"xstream",
+       [] {
+         return BuiltinModel{"VirtualQueue", xstream::virtual_queue_program(
+                                                 xstream::QueueConfig{})};
+       }},
+      {"xstream-lost-credit",
+       [] {
+         xstream::QueueConfig cfg;
+         cfg.variant = xstream::QueueVariant::kLostCredit;
+         return BuiltinModel{"VirtualQueue",
+                             xstream::virtual_queue_program(cfg)};
+       }},
+      {"xstream-eager-credit",
+       [] {
+         xstream::QueueConfig cfg;
+         cfg.variant = xstream::QueueVariant::kEagerCredit;
+         return BuiltinModel{"VirtualQueue",
+                             xstream::virtual_queue_program(cfg)};
+       }},
+      {"xmas-credit-loop", [] { return xmas_builtin("credit-loop"); }},
+      {"xmas-vc-pair", [] { return xmas_builtin("vc-pair"); }},
+      {"xmas-mesh2", [] { return xmas_builtin("mesh2"); }},
   };
+  return registry;
+}
+
+const std::vector<std::string>& builtin_names() {
+  static const std::vector<std::string> names = [] {
+    std::vector<std::string> out;
+    for (const BuiltinSpec& spec : builtin_registry()) {
+      out.emplace_back(spec.name);
+    }
+    return out;
+  }();
   return names;
 }
 
+std::string builtin_names_text() {
+  std::string out;
+  for (const std::string& name : builtin_names()) {
+    out += (out.empty() ? "" : ", ") + name;
+  }
+  return out;
+}
+
 BuiltinModel builtin_model(const std::string& name) {
-  if (name == "fame-msi") {
-    return {"System", fame::coherence_system_program(fame::Protocol::kMsi)};
+  for (const BuiltinSpec& spec : builtin_registry()) {
+    if (name == spec.name) {
+      return spec.build();
+    }
   }
-  if (name == "fame-mesi") {
-    return {"System", fame::coherence_system_program(fame::Protocol::kMesi)};
-  }
-  if (name == "fame-msi-3") {
-    return {"SystemN",
-            fame::coherence_system_n_program(fame::Protocol::kMsi, 3)};
-  }
-  if (name == "fame-mesi-3") {
-    return {"SystemN",
-            fame::coherence_system_n_program(fame::Protocol::kMesi, 3)};
-  }
-  if (name == "noc-mesh") {
-    return {"Mesh", noc::mesh_program()};
-  }
-  if (name == "noc-mesh-3x3") {
-    return {"Scenario",
-            noc::single_packet_program(0, 8, /*hide_links=*/true,
-                                       noc::MeshDims{3, 3})};
-  }
-  if (name == "noc-single-packet") {
-    return {"Scenario", noc::single_packet_program(0, 3)};
-  }
-  if (name == "noc-stream") {
-    return {"Scenario", noc::stream_program({noc::Flow{0, 3}})};
-  }
-  xstream::QueueConfig cfg;
-  if (name == "xstream") {
-    return {"VirtualQueue", xstream::virtual_queue_program(cfg)};
-  }
-  if (name == "xstream-lost-credit") {
-    cfg.variant = xstream::QueueVariant::kLostCredit;
-    return {"VirtualQueue", xstream::virtual_queue_program(cfg)};
-  }
-  if (name == "xstream-eager-credit") {
-    cfg.variant = xstream::QueueVariant::kEagerCredit;
-    return {"VirtualQueue", xstream::virtual_queue_program(cfg)};
-  }
-  throw UsageError("lint: unknown builtin '" + name + "' (try 'all')");
+  throw UsageError("unknown builtin '" + name +
+                   "' (known: " + builtin_names_text() + "; or 'all')");
 }
 
 int cmd_lint(int argc, char** argv) {
@@ -964,6 +1027,165 @@ int cmd_dse(int argc, char** argv) {
   return result.all_ok() ? 0 : 1;
 }
 
+int cmd_xmas(int argc, char** argv) {
+  // xmas (<file.xmas> | --builtin <name> [--capacity N]) [--lint | --compile
+  //      | --solve] [--items N] [--json] [--strict] [--flat] [-o out.proc]
+  std::string path;
+  std::string builtin;
+  int capacity = 2;
+  bool have_capacity = false;
+  int items = 0;
+  std::string mode;  // "lint" (default), "compile", "solve"
+  bool json = false;
+  bool strict = false;
+  bool flat = false;
+  std::string out_path;
+  const auto set_mode = [&](const char* m) {
+    if (!mode.empty() && mode != m) {
+      throw UsageError("xmas: give at most one of --lint, --compile, --solve");
+    }
+    mode = m;
+  };
+  for (int i = 2; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--builtin" && i + 1 < argc) {
+      builtin = argv[++i];
+    } else if (a == "--capacity" && i + 1 < argc) {
+      capacity = static_cast<int>(parse_long(argv[++i], "capacity"));
+      have_capacity = true;
+    } else if (a == "--items" && i + 1 < argc) {
+      items = static_cast<int>(parse_long(argv[++i], "items"));
+    } else if (a == "--lint") {
+      set_mode("lint");
+    } else if (a == "--compile") {
+      set_mode("compile");
+    } else if (a == "--solve") {
+      set_mode("solve");
+    } else if (a == "--json") {
+      json = true;
+    } else if (a == "--strict") {
+      strict = true;
+    } else if (a == "--flat") {
+      flat = true;
+    } else if (a == "-o" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!a.empty() && a[0] == '-') {
+      throw UsageError("xmas: unknown flag " + a);
+    } else if (path.empty()) {
+      path = a;
+    } else {
+      throw UsageError("xmas: more than one netlist file given");
+    }
+  }
+  if (mode.empty()) {
+    mode = "lint";
+  }
+  if (path.empty() == builtin.empty()) {
+    throw UsageError("xmas: give either <file.xmas> or --builtin <name>");
+  }
+  if (have_capacity && builtin.empty()) {
+    throw UsageError(
+        "xmas: --capacity only applies to --builtin fabrics (file netlists "
+        "size their own queues)");
+  }
+  if (items < 0 || items > 64) {
+    throw UsageError("xmas: --items must be in 0..64");
+  }
+
+  // Findings (parse errors included) are reported through the one lint
+  // channel, so `xmas --lint` output matches `lint` byte-for-byte in shape.
+  const std::string name = path.empty() ? builtin : path;
+  const auto report = [&](const analyze::Analysis& a) {
+    if (json) {
+      std::cout << core::render_json(a.diagnostics) << "\n";
+    } else {
+      std::cout << name << ": " << a.summary() << "\n"
+                << core::render_text(a.diagnostics);
+    }
+    const std::size_t errors = a.count(core::Severity::kError);
+    return errors > 0 || (strict && !a.diagnostics.empty()) ? 1 : 0;
+  };
+
+  xmas::Netlist net;
+  if (!builtin.empty()) {
+    try {
+      net = xmas::builtin_fabric(builtin, capacity);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError("xmas: " + std::string(e.what()));
+    }
+  } else {
+    try {
+      net = xmas::parse_netlist(read_file(path));
+    } catch (const xmas::ParseError& e) {
+      analyze::Analysis a;
+      a.diagnostics.push_back(e.diagnostic());
+      report(a);
+      return 1;
+    }
+  }
+
+  const analyze::Analysis lint = analyze::lint_netlist(net);
+  if (mode == "lint") {
+    return report(lint);
+  }
+  if (!lint.clean()) {
+    // compile/solve gate on the structural lint, like explore/serve gate on
+    // the program lint.
+    return report(lint);
+  }
+
+  xmas::CompileOptions copts;
+  copts.burst = mode == "compile" ? items : 0;
+  const xmas::Compiled compiled = xmas::compile(net, copts);
+  if (mode == "compile") {
+    const std::string text = compiled.program->to_string();
+    if (out_path.empty()) {
+      std::cout << text;
+    } else {
+      std::ofstream os(out_path);
+      if (!os) {
+        throw std::runtime_error("cannot write " + out_path);
+      }
+      os << text;
+      std::cout << "written to " << out_path << "\n";
+    }
+    return 0;
+  }
+
+  // --solve: steady-state throughput over the sink gates, plus (with
+  // --items N) the burst latency bounds, through the serve solvers.
+  const compose::Strategy strategy =
+      flat ? compose::Strategy::kFlat : compose::Strategy::kPlanned;
+  const std::map<std::string, double> rates = xmas::rate_table(compiled);
+  const lts::Lts steady = xmas::compiled_lts(compiled, strategy);
+  std::cout << "fabric " << net.name << ": " << steady.num_states()
+            << " states, " << steady.num_transitions() << " transitions ("
+            << compose::to_string(strategy) << ")\n";
+  std::string glob = compiled.sink_gates.front();
+  for (const std::string& g : compiled.sink_gates) {
+    std::size_t i = 0;
+    while (i < glob.size() && i < g.size() && glob[i] == g[i]) ++i;
+    glob.resize(i);
+  }
+  serve::Request request;
+  request.verb = serve::Verb::kThroughput;
+  request.arg = "uniform:" + glob + "*";
+  request.payload = imc::to_aut(core::decorate_with_rates(steady, rates));
+  std::cout << serve::solve_request(request) << "\n";
+  if (items > 0) {
+    xmas::CompileOptions burst_opts;
+    burst_opts.burst = items;
+    const xmas::Compiled burst = xmas::compile(net, burst_opts);
+    serve::Request bounds;
+    bounds.verb = serve::Verb::kBounds;
+    bounds.payload = imc::to_aut(core::decorate_with_rates(
+        xmas::compiled_lts(burst, strategy), rates));
+    std::cout << "burst(items=" << items
+              << "): " << serve::solve_request(bounds) << "\n";
+  }
+  return 0;
+}
+
 int usage() {
   std::cerr
       << "usage:\n"
@@ -1001,7 +1223,20 @@ int usage() {
          "<label-glob>\n"
          "  multival_cli dse   [--spec <file> | --builtin <default|smoke>] "
          "[-j N] [--socket EP[,EP...] [--retry-ms MS]] [--deadline MS] "
-         "[--repeat N] [--json PATH] [--csv PATH] [--no-timing] [--flat]\n";
+         "[--repeat N] [--json PATH] [--csv PATH] [--no-timing] [--flat]\n"
+         "  multival_cli xmas  (<file.xmas> | --builtin <name> "
+         "[--capacity N]) [--lint | --compile | --solve] [--items N] "
+         "[--json] [--strict] [--flat] [-o out.proc]\n"
+         "       xmas builtins: ";
+  {
+    bool first = true;
+    for (const std::string& name : xmas::builtin_fabric_names()) {
+      std::cerr << (first ? "" : ", ") << name;
+      first = false;
+    }
+  }
+  std::cerr << "\n       model builtins (compose/lint): " << builtin_names_text()
+            << "\n";
   return 2;
 }
 
@@ -1071,6 +1306,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "dse") {
       return cmd_dse(argc, argv);
+    }
+    if (cmd == "xmas" && argc >= 3) {
+      return cmd_xmas(argc, argv);
     }
     return usage();
   } catch (const UsageError& e) {

@@ -34,6 +34,17 @@
 //   MV020 advice   fixed-delay phase-type approximation advisory
 //   MV021 advice   hide-placement: a hidden gate local to one operand of a
 //                  composition could be hidden below it (smaller products)
+//   MV030 error    xMAS netlist structural error (dangling or doubly-driven
+//                  port, bad attribute, unknown channel endpoint)
+//   MV031 error    xMAS join input on a token-free cycle: no initial token
+//                  and no path from a source can ever reach it, so the join
+//                  (and everything behind it) is structurally deadlocked
+//   MV032 warning  xMAS fork feeding both inputs of one join through paths
+//                  of unequal queue capacity (the classic overflow/deadlock
+//                  idiom: the deeper path fills while the shallower blocks)
+//   MV033 warning  xMAS merge input that can never carry a token because a
+//                  constant switch predicate upstream kills its only feed
+//                  (merge starvation; the arbiter degenerates)
 //
 // Soundness directions: MV001/002/005/007/008/009 are exact (syntactic);
 // MV003/MV004's "never fires" part is sound (alphabet over-approximation),
@@ -55,6 +66,7 @@
 #include "core/diag.hpp"
 #include "imc/imc.hpp"
 #include "proc/process.hpp"
+#include "xmas/netlist.hpp"
 
 namespace multival::analyze {
 
@@ -105,6 +117,17 @@ struct Analysis {
 /// Lints an IMC: nondeterministic-delay races, maximal-progress-dead rates,
 /// residual nondeterminism (MV011/MV012/MV013).
 [[nodiscard]] Analysis lint_imc(const imc::Imc& m);
+
+/// Lints an xMAS netlist on pure structure: Netlist::check()'s MV030
+/// well-formedness errors, then — on well-formed netlists only — the
+/// deadlock-idiom checks MV031 (join input on a token-free cycle, via a
+/// least fixed point of "this channel can ever carry a token"), MV032
+/// (fork->join reconvergence through unequal queue capacity) and MV033
+/// (merge starvation under constant switch predicates).  Zero states
+/// generated, like every other check here; MV031's carriability fixed point
+/// is sound (a non-carriable join input really never fires), the
+/// warning-severity idioms are heuristic.
+[[nodiscard]] Analysis lint_netlist(const xmas::Netlist& n);
 
 /// MV020: the Erlang order k needed to approximate a deterministic delay
 /// @p delay within relative Wasserstein-1 error @p rel_error (0 < e < 1),

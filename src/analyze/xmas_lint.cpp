@@ -1,0 +1,154 @@
+// MV03x: structural deadlock-idiom lint over xMAS netlists.
+//
+// All three idiom checks run on the wiring graph alone — no process terms,
+// no state space (stats.states_generated stays 0 by construction):
+//
+//   MV031  a least fixed point of "channel c can ever carry a token":
+//            source.out        carries
+//            queue.out         carries iff init > 0 or queue.in carries
+//            function/fork.out carries iff .in carries
+//            join.out          carries iff BOTH .in0 and .in1 carry
+//            merge.out         carries iff EITHER input carries
+//            switch.out0/.out1 per the predicate (a constant predicate
+//                              kills the other side)
+//          Monotone on the powerset of channels, so the fixed point is the
+//          exact set of channels with any token supply; a join input
+//          outside it can never fire — error, the fabric is structurally
+//          deadlocked at that join.
+//   MV032  both outputs of one fork reach the two inputs of one join via
+//          linear paths (queues/functions only) whose queue capacities
+//          differ — the unequal-buffer reconvergence idiom (warning).
+//   MV033  a merge input outside the carriability fixed point: the arbiter
+//          degenerates to a wire (warning; typically a constant switch
+//          predicate upstream).
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyze/analyze.hpp"
+#include "xmas/netlist.hpp"
+
+namespace multival::analyze {
+namespace {
+
+using xmas::Element;
+using xmas::Netlist;
+using xmas::PrimitiveKind;
+
+core::Diagnostic idiom(std::string code, core::Severity sev, std::string msg,
+                       std::string path, std::string hint) {
+  core::Diagnostic d;
+  d.code = std::move(code);
+  d.severity = sev;
+  d.message = std::move(msg);
+  d.path = std::move(path);
+  d.hint = std::move(hint);
+  return d;
+}
+
+/// Follows a channel forward through linear elements (queue, function)
+/// only, summing queue capacities, until it hits a join input (returned) or
+/// anything else (nullopt).
+struct JoinArrival {
+  const Element* join = nullptr;
+  std::size_t input = 0;   ///< 0 or 1
+  int capacity = 0;        ///< queue places along the path
+};
+
+std::optional<JoinArrival> follow_to_join(const Netlist& n,
+                                          std::size_t channel) {
+  int capacity = 0;
+  for (std::size_t hops = 0; hops <= n.elements().size(); ++hops) {
+    const auto& target = n.channels()[channel].target;
+    const Element* e = n.find(target.element);
+    if (e == nullptr) return std::nullopt;
+    if (e->kind == PrimitiveKind::kJoin) {
+      JoinArrival a;
+      a.join = e;
+      a.input = target.port == e->input_port(1) ? 1 : 0;
+      a.capacity = capacity;
+      return a;
+    }
+    if (e->kind == PrimitiveKind::kQueue) {
+      capacity += e->capacity;
+      channel = n.output_channel(*e, 0);
+    } else if (e->kind == PrimitiveKind::kFunction) {
+      channel = n.output_channel(*e, 0);
+    } else {
+      return std::nullopt;  // fork/switch/merge/sink end the linear path
+    }
+  }
+  return std::nullopt;  // cycle without a join
+}
+
+}  // namespace
+
+Analysis lint_netlist(const Netlist& n) {
+  auto start = std::chrono::steady_clock::now();
+  Analysis out;
+  out.stats.definitions = n.elements().size();
+  out.stats.terms_visited = n.elements().size() + n.channels().size();
+
+  out.diagnostics = n.check();  // MV030
+  if (!core::has_errors(out.diagnostics)) {
+    // Structure is sound; the idiom checks may dereference ports freely.
+    std::vector<bool> carry =
+        xmas::carriable_channels(n, &out.stats.fixpoint_passes);
+
+    for (const Element& e : n.elements()) {
+      const std::string path = n.name + "/" + e.name;
+      if (e.kind == PrimitiveKind::kJoin) {
+        for (std::size_t i = 0; i < 2; ++i) {
+          if (!carry[n.input_channel(e, i)]) {
+            out.diagnostics.push_back(idiom(
+                "MV031", core::Severity::kError,
+                "join input " + e.name + "." + e.input_port(i) +
+                    " can never carry a token (it lies on a token-free "
+                    "cycle, or nothing feeds it): the join is structurally "
+                    "deadlocked",
+                path,
+                "seed a queue on the starved path with init tokens, or "
+                "route a source into it"));
+          }
+        }
+      } else if (e.kind == PrimitiveKind::kMerge) {
+        for (std::size_t i = 0; i < 2; ++i) {
+          if (!carry[n.input_channel(e, i)]) {
+            out.diagnostics.push_back(idiom(
+                "MV033", core::Severity::kWarning,
+                "merge input " + e.name + "." + e.input_port(i) +
+                    " can never carry a token (a constant switch predicate "
+                    "or an empty feed upstream starves it): the arbiter "
+                    "degenerates to a wire",
+                path,
+                "drop the merge, or make the upstream switch predicate "
+                "data-dependent"));
+          }
+        }
+      } else if (e.kind == PrimitiveKind::kFork) {
+        auto a0 = follow_to_join(n, n.output_channel(e, 0));
+        auto a1 = follow_to_join(n, n.output_channel(e, 1));
+        if (a0 && a1 && a0->join == a1->join && a0->input != a1->input &&
+            a0->capacity != a1->capacity) {
+          out.diagnostics.push_back(idiom(
+              "MV032", core::Severity::kWarning,
+              "fork " + e.name + " feeds both inputs of join " +
+                  a0->join->name +
+                  " through unequal queue capacity (" +
+                  std::to_string(a0->capacity) + " vs " +
+                  std::to_string(a1->capacity) +
+                  "): the deeper path can fill while the shallower blocks",
+              path, "equalise the path capacities"));
+        }
+      }
+    }
+  }
+
+  out.stats.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return out;
+}
+
+}  // namespace multival::analyze

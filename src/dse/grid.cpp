@@ -297,11 +297,12 @@ SweepSpec parse_sweep_spec(const std::string& text) {
 }
 
 const std::string& builtin_sweep_spec(const std::string& name) {
-  // The D1 exhibit grid: 40 raw points across all three generator families,
-  // 4 pruned by the noc node-count constraint.  The xstream 'items' axis
-  // does not influence the continuous-throughput sub-model, so half of the
-  // xstream throughput probes are within-sweep duplicates and must hit the
-  // service cache.
+  // The D1 exhibit grid: 58 raw points across all four generator families,
+  // 4 pruned by the noc node-count constraint (the xmas queues-guard
+  // constraint admits every current builtin fabric).  The xstream 'items'
+  // axis does not influence the continuous-throughput sub-model, so half of
+  // the xstream throughput probes are within-sweep duplicates and must hit
+  // the service cache.
   static const std::string kDefault =
       "sweep d1\n"
       "space noc\n"
@@ -322,6 +323,12 @@ const std::string& builtin_sweep_spec(const std::string& name) {
       "  axis capacity = 1, 2, 3\n"
       "  axis push_rate = 0.6, 1.2\n"
       "  axis items = 2, 4\n"
+      "end\n"
+      "space xmas\n"
+      "  axis fabric = credit-loop, vc-pair, mesh2\n"
+      "  axis capacity = 1, 2, 3\n"
+      "  axis inject_rate = 0.6, 1.2\n"
+      "  constraint queues <= 3\n"
       "end\n";
   static const std::string kSmoke =
       "sweep smoke\n"
@@ -335,6 +342,10 @@ const std::string& builtin_sweep_spec(const std::string& name) {
       "  axis topology = bus\n"
       "end\n"
       "space xstream\n"
+      "  axis capacity = 1, 2\n"
+      "end\n"
+      "space xmas\n"
+      "  axis fabric = credit-loop\n"
       "  axis capacity = 1, 2\n"
       "end\n";
   if (name == "default") {

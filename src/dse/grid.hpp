@@ -1,7 +1,7 @@
 // Parameterised design spaces for the DSE orchestrator (src/dse).
 //
 // A sweep spec declares one or more *spaces*; each space names a generator
-// family ("noc", "fame", "xstream") and a typed grid of axes.  An axis is a
+// family ("noc", "fame", "xstream", "xmas") and a typed grid of axes.  An axis is a
 // name plus an explicit list of values (integers, reals or enumeration
 // words); the grid is the cross product of its axes, pruned by constraint
 // predicates.  Expansion order is deterministic: axes vary in declaration
@@ -77,7 +77,7 @@ struct Constraint {
 
 /// One design space: a generator family plus its grid.
 struct Space {
-  std::string family;  ///< "noc" | "fame" | "xstream"
+  std::string family;  ///< "noc" | "fame" | "xstream" | "xmas"
   std::vector<Axis> axes;
   std::vector<Constraint> constraints;
 
@@ -111,8 +111,8 @@ struct SweepSpec {
 /// "line N: ..." message on malformed input.
 [[nodiscard]] SweepSpec parse_sweep_spec(const std::string& text);
 
-/// The shipped sweeps: "default" (the ≥24-point noc+fame+xstream grid of
-/// EXPERIMENTS.md D1) and "smoke" (a ≤6-point subset for CI).
+/// The shipped sweeps: "default" (the ≥24-point noc+fame+xstream+xmas grid
+/// of EXPERIMENTS.md D1) and "smoke" (a small subset for CI).
 [[nodiscard]] const std::string& builtin_sweep_spec(const std::string& name);
 
 /// Expands every space of @p spec into points, in declaration order, with

@@ -4,12 +4,15 @@
 #include <set>
 #include <stdexcept>
 
+#include "analyze/analyze.hpp"
 #include "core/flow.hpp"
 #include "fame/mpi.hpp"
 #include "fame/topology.hpp"
 #include "imc/imc_io.hpp"
 #include "noc/mesh.hpp"
 #include "noc/perf.hpp"
+#include "xmas/compile.hpp"
+#include "xmas/netlist.hpp"
 #include "xstream/queue_model.hpp"
 
 namespace multival::dse {
@@ -195,6 +198,82 @@ Instantiated instantiate_xstream(const Point& p, compose::Strategy strategy,
   return inst;
 }
 
+Instantiated instantiate_xmas(const Point& p, compose::Strategy strategy,
+                              compose::MinimizeCache* cache) {
+  check_axes(p, {"fabric", "capacity", "items", "inject_rate", "service_rate",
+                 "transfer_rate"});
+  const std::string fabric = p.get_word("fabric", "credit-loop");
+  const int capacity = static_cast<int>(p.get_long("capacity", 2));
+  check_range(p, "capacity", capacity, 1, 4);
+  const int items =
+      static_cast<int>(p.get_long("items", static_cast<long>(capacity)));
+  check_range(p, "items", items, 1, 8);
+  const double inject = p.get_double("inject_rate", 1.0);
+  const double service = p.get_double("service_rate", 2.0);
+  const double transfer = p.get_double("transfer_rate", 10.0);
+  for (const auto& [axis, rate] : std::map<std::string, double>{
+           {"inject_rate", inject},
+           {"service_rate", service},
+           {"transfer_rate", transfer}}) {
+    if (!(rate > 0.0)) {
+      throw SpecError("point " + p.id + ": " + axis + " must be > 0");
+    }
+  }
+
+  xmas::Netlist net;
+  try {
+    net = xmas::builtin_fabric(fabric, capacity);
+  } catch (const std::invalid_argument& e) {
+    throw SpecError("point " + p.id + ": " + e.what());
+  }
+  // The netlist-level gate: a structurally deadlocked fabric (MV031 etc.)
+  // never reaches compilation, let alone the solvers — zero states spent.
+  const analyze::Analysis lint = analyze::lint_netlist(net);
+  if (!lint.clean()) {
+    std::string first;
+    for (const core::Diagnostic& d : lint.diagnostics) {
+      if (d.severity == core::Severity::kError) {
+        first = d.to_text();
+        break;
+      }
+    }
+    throw SpecError("point " + p.id + ": fabric '" + fabric +
+                    "' fails xMAS lint: " + first);
+  }
+
+  const xmas::Compiled steady = xmas::compile(net);
+  xmas::CompileOptions burst_opts;
+  burst_opts.burst = items;
+  const xmas::Compiled burst = xmas::compile(net, burst_opts);
+  const std::map<std::string, double> rates =
+      xmas::rate_table(steady, inject, service, transfer);
+
+  Instantiated inst;
+  inst.gates.push_back(
+      {"xmas/" + fabric + "/burst", *burst.program, burst.entry});
+  inst.gates.push_back(
+      {"xmas/" + fabric + "/steady", *steady.program, steady.entry});
+
+  // Every gate is decorated (sources inject, sinks service, fabric-internal
+  // transfers), so the closed model has no residual interactive
+  // nondeterminism to schedule away.
+  inst.probes.push_back(imc_probe(
+      "latency", serve::Verb::kBounds, "",
+      core::decorate_with_rates(
+          xmas::compiled_lts(burst, strategy, {}, cache), rates)));
+  std::string sink_glob = steady.sink_gates.front();
+  for (const std::string& g : steady.sink_gates) {
+    std::size_t i = 0;
+    while (i < sink_glob.size() && i < g.size() && sink_glob[i] == g[i]) ++i;
+    sink_glob.resize(i);
+  }
+  inst.probes.push_back(imc_probe(
+      "throughput", serve::Verb::kThroughput, "uniform:" + sink_glob + "*",
+      core::decorate_with_rates(
+          xmas::compiled_lts(steady, strategy, {}, cache), rates)));
+  return inst;
+}
+
 }  // namespace
 
 std::map<std::string, AxisValue> derived_quantities(
@@ -214,12 +293,30 @@ std::map<std::string, AxisValue> derived_quantities(
       }
     }
     d["nodes"] = width * height;
+  } else if (family == "xmas") {
+    std::string fabric = "credit-loop";
+    if (const auto it = axes.find("fabric"); it != axes.end()) {
+      if (const std::string* w = std::get_if<std::string>(&it->second)) {
+        fabric = *w;
+      }
+    }
+    long queues = 0;
+    try {
+      const xmas::Netlist fab = xmas::builtin_fabric(fabric);
+      for (const auto& e : fab.elements()) {
+        if (e.kind == xmas::PrimitiveKind::kQueue) ++queues;
+      }
+    } catch (const std::invalid_argument&) {
+      // unknown fabric: instantiate() reports it with a proper SpecError
+    }
+    d["queues"] = queues;
   }
   return d;
 }
 
 bool known_family(const std::string& family) {
-  return family == "noc" || family == "fame" || family == "xstream";
+  return family == "noc" || family == "fame" || family == "xstream" ||
+         family == "xmas";
 }
 
 Instantiated instantiate(const Point& point, compose::Strategy strategy,
@@ -231,9 +328,11 @@ Instantiated instantiate(const Point& point, compose::Strategy strategy,
     inst = instantiate_fame(point, strategy, cache);
   } else if (point.family == "xstream") {
     inst = instantiate_xstream(point, strategy, cache);
+  } else if (point.family == "xmas") {
+    inst = instantiate_xmas(point, strategy, cache);
   } else {
     throw SpecError("point " + point.id + ": unknown family '" + point.family +
-                    "' (known: noc, fame, xstream)");
+                    "' (known: noc, fame, xstream, xmas)");
   }
   for (const Probe& probe : inst.probes) {
     inst.model_states += probe.imc_states;
@@ -305,7 +404,7 @@ Metrics derive_metrics(const Point& point, const Instantiated& inst,
     const double rounds = static_cast<double>(point.get_long("rounds", 1));
     m.latency = total / rounds;
     m.throughput = total > 0.0 ? rounds / total : 0.0;
-  } else if (point.family == "xstream") {
+  } else if (point.family == "xstream" || point.family == "xmas") {
     const long capacity = point.get_long("capacity", 2);
     const double items =
         static_cast<double>(point.get_long("items", capacity));

@@ -21,6 +21,16 @@
 //            probes:  latency    = bounds(drain-scenario IMC) / items
 //                     throughput = throughput(virtual-queue IMC, POP*)
 //
+//   xmas     fabric=credit-loop capacity=2 items=capacity inject_rate=1.0
+//            service_rate=2.0 transfer_rate=10.0
+//            fabric in {credit-loop, vc-pair, mesh2} (builtin_fabric);
+//            instantiation is gated on analyze::lint_netlist (MV03x), so a
+//            structurally deadlocked fabric is rejected with zero states
+//            derived: queues = payload queues in the fabric
+//            probes:  latency    = bounds(burst compile, items tokens)/items
+//                     throughput = throughput(free-running compile,
+//                                  uniform glob over the sink gates)
+//
 // All families derive occupancy by Little's law (latency x throughput) and
 // report the total payload state count as the model-complexity metric.
 #pragma once
@@ -71,7 +81,7 @@ struct Metrics {
 [[nodiscard]] std::map<std::string, AxisValue> derived_quantities(
     const std::string& family, const std::map<std::string, AxisValue>& axes);
 
-/// True for the supported families ("noc", "fame", "xstream").
+/// True for the supported families ("noc", "fame", "xstream", "xmas").
 [[nodiscard]] bool known_family(const std::string& family);
 
 /// Builds gate models and probes for @p point.  Throws SpecError on an

@@ -1,0 +1,466 @@
+#include "xmas/netlist.hpp"
+
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace multival::xmas {
+
+const char* to_string(PrimitiveKind k) {
+  switch (k) {
+    case PrimitiveKind::kQueue:
+      return "queue";
+    case PrimitiveKind::kFunction:
+      return "function";
+    case PrimitiveKind::kFork:
+      return "fork";
+    case PrimitiveKind::kJoin:
+      return "join";
+    case PrimitiveKind::kSwitch:
+      return "switch";
+    case PrimitiveKind::kMerge:
+      return "merge";
+    case PrimitiveKind::kSource:
+      return "source";
+    case PrimitiveKind::kSink:
+      return "sink";
+  }
+  return "?";
+}
+
+std::optional<PrimitiveKind> parse_primitive_kind(std::string_view word) {
+  static const std::map<std::string_view, PrimitiveKind> kKinds = {
+      {"queue", PrimitiveKind::kQueue},   {"function", PrimitiveKind::kFunction},
+      {"fork", PrimitiveKind::kFork},     {"join", PrimitiveKind::kJoin},
+      {"switch", PrimitiveKind::kSwitch}, {"merge", PrimitiveKind::kMerge},
+      {"source", PrimitiveKind::kSource}, {"sink", PrimitiveKind::kSink}};
+  const auto it = kKinds.find(word);
+  if (it == kKinds.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+const char* to_string(Predicate p) {
+  switch (p) {
+    case Predicate::kAny:
+      return "any";
+    case Predicate::kFirst:
+      return "first";
+    case Predicate::kSecond:
+      return "second";
+  }
+  return "?";
+}
+
+std::size_t Element::num_inputs() const {
+  switch (kind) {
+    case PrimitiveKind::kSource:
+      return 0;
+    case PrimitiveKind::kJoin:
+    case PrimitiveKind::kMerge:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+std::size_t Element::num_outputs() const {
+  switch (kind) {
+    case PrimitiveKind::kSink:
+      return 0;
+    case PrimitiveKind::kFork:
+    case PrimitiveKind::kSwitch:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+std::string Element::input_port(std::size_t i) const {
+  return num_inputs() == 1 ? "in" : "in" + std::to_string(i);
+}
+
+std::string Element::output_port(std::size_t i) const {
+  return num_outputs() == 1 ? "out" : "out" + std::to_string(i);
+}
+
+const Element* Netlist::find(std::string_view element_name) const {
+  for (const Element& e : elements_) {
+    if (e.name == element_name) {
+      return &e;
+    }
+  }
+  return nullptr;
+}
+
+namespace {
+
+/// Port index of @p port on the given side of @p e, or npos.
+std::size_t port_index(const Element& e, const std::string& port, bool input) {
+  const std::size_t n = input ? e.num_inputs() : e.num_outputs();
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((input ? e.input_port(i) : e.output_port(i)) == port) {
+      return i;
+    }
+  }
+  return Netlist::npos;
+}
+
+core::Diagnostic structural(std::string message, std::string path,
+                            std::size_t line, std::string hint = {}) {
+  return core::Diagnostic{"MV030",    core::Severity::kError,
+                          std::move(message), std::move(path),
+                          line,       0,
+                          std::move(hint)};
+}
+
+}  // namespace
+
+std::size_t Netlist::input_channel(const Element& e, std::size_t i) const {
+  const std::string port = e.input_port(i);
+  std::size_t found = npos;
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    if (channels_[c].target.element == e.name &&
+        channels_[c].target.port == port) {
+      if (found != npos) {
+        return npos;  // doubly driven; check() reports it
+      }
+      found = c;
+    }
+  }
+  return found;
+}
+
+std::size_t Netlist::output_channel(const Element& e, std::size_t i) const {
+  const std::string port = e.output_port(i);
+  std::size_t found = npos;
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    if (channels_[c].initiator.element == e.name &&
+        channels_[c].initiator.port == port) {
+      if (found != npos) {
+        return npos;
+      }
+      found = c;
+    }
+  }
+  return found;
+}
+
+std::vector<core::Diagnostic> Netlist::check() const {
+  std::vector<core::Diagnostic> diags;
+
+  std::set<std::string> element_names;
+  for (const Element& e : elements_) {
+    const std::string path = name + "/" + e.name;
+    if (!element_names.insert(e.name).second) {
+      diags.push_back(structural(
+          "duplicate element name '" + e.name + "'", path, 0,
+          "rename one of the elements; channel endpoints resolve by name"));
+    }
+    if (e.name.empty()) {
+      diags.push_back(structural("element with an empty name", path, 0, ""));
+    }
+    if (e.kind == PrimitiveKind::kQueue) {
+      if (e.capacity < 1 || e.capacity > 8) {
+        diags.push_back(structural(
+            "queue capacity " + std::to_string(e.capacity) +
+                " outside 1..8 (state-space bound)",
+            path, 0, ""));
+      } else if (e.init < 0 || e.init > e.capacity) {
+        diags.push_back(structural(
+            "queue init " + std::to_string(e.init) + " outside 0..capacity (" +
+                std::to_string(e.capacity) + ")",
+            path, 0, ""));
+      }
+    }
+    if ((e.kind == PrimitiveKind::kSource || e.kind == PrimitiveKind::kSink) &&
+        !(e.rate > 0.0)) {
+      diags.push_back(
+          structural("rate of " + std::string(to_string(e.kind)) +
+                         " must be > 0",
+                     path, 0, ""));
+    }
+  }
+
+  // Channel endpoints: real elements, ports of the right direction, unique
+  // channel names.
+  std::set<std::string> channel_names;
+  // (element, port) -> wired count, separately per direction.
+  std::map<std::pair<std::string, std::string>, int> driven;
+  std::map<std::pair<std::string, std::string>, int> driving;
+  for (const Channel& c : channels_) {
+    const std::string path = name + "/" + c.name;
+    if (c.name.empty()) {
+      diags.push_back(structural("channel with an empty name",
+                                 name + "/" + c.initiator.to_string(), c.line,
+                                 ""));
+    } else if (!channel_names.insert(c.name).second) {
+      diags.push_back(
+          structural("duplicate channel name '" + c.name + "'", path, c.line,
+                     ""));
+    }
+    const Element* from = find(c.initiator.element);
+    const Element* to = find(c.target.element);
+    if (from == nullptr) {
+      diags.push_back(structural("channel initiator names unknown element '" +
+                                     c.initiator.element + "'",
+                                 path, c.line, ""));
+    } else if (port_index(*from, c.initiator.port, /*input=*/false) == npos) {
+      diags.push_back(structural(
+          "'" + c.initiator.to_string() + "' is not an output port of " +
+              to_string(from->kind) + " '" + from->name + "'",
+          path, c.line, "outputs: out / out0, out1"));
+    } else {
+      ++driving[{c.initiator.element, c.initiator.port}];
+    }
+    if (to == nullptr) {
+      diags.push_back(structural(
+          "channel target names unknown element '" + c.target.element + "'",
+          path, c.line, ""));
+    } else if (port_index(*to, c.target.port, /*input=*/true) == npos) {
+      diags.push_back(structural(
+          "'" + c.target.to_string() + "' is not an input port of " +
+              to_string(to->kind) + " '" + to->name + "'",
+          path, c.line, "inputs: in / in0, in1"));
+    } else {
+      ++driven[{c.target.element, c.target.port}];
+    }
+  }
+
+  // Every port wired exactly once: a dangling port leaves the fabric unable
+  // to ever transfer through it; a doubly-driven port has no xMAS meaning.
+  for (const Element& e : elements_) {
+    for (std::size_t i = 0; i < e.num_outputs(); ++i) {
+      const int n = driving[{e.name, e.output_port(i)}];
+      if (n == 0) {
+        diags.push_back(structural(
+            "dangling output port '" + e.name + "." + e.output_port(i) + "'",
+            name + "/" + e.name, 0,
+            "every output must initiate exactly one channel"));
+      } else if (n > 1) {
+        diags.push_back(structural(
+            "output port '" + e.name + "." + e.output_port(i) +
+                "' initiates " + std::to_string(n) + " channels",
+            name + "/" + e.name, 0, "fan-out needs an explicit fork"));
+      }
+    }
+    for (std::size_t i = 0; i < e.num_inputs(); ++i) {
+      const int n = driven[{e.name, e.input_port(i)}];
+      if (n == 0) {
+        diags.push_back(structural(
+            "dangling input port '" + e.name + "." + e.input_port(i) + "'",
+            name + "/" + e.name, 0,
+            "every input must terminate exactly one channel"));
+      } else if (n > 1) {
+        diags.push_back(structural(
+            "input port '" + e.name + "." + e.input_port(i) + "' is driven by " +
+                std::to_string(n) + " channels",
+            name + "/" + e.name, 0, "fan-in needs an explicit merge"));
+      }
+    }
+  }
+  return diags;
+}
+
+std::vector<bool> carriable_channels(const Netlist& n, std::size_t* passes) {
+  const auto& channels = n.channels();
+  std::vector<bool> carry(channels.size(), false);
+  auto chan_in = [&](const Element& e, std::size_t i) {
+    return n.input_channel(e, i);
+  };
+  auto chan_out = [&](const Element& e, std::size_t i) {
+    return n.output_channel(e, i);
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (passes != nullptr) ++*passes;
+    for (const Element& e : n.elements()) {
+      auto set = [&](std::size_t chan, bool value) {
+        if (value && !carry[chan]) {
+          carry[chan] = true;
+          changed = true;
+        }
+      };
+      switch (e.kind) {
+        case PrimitiveKind::kSource:
+          set(chan_out(e, 0), true);
+          break;
+        case PrimitiveKind::kQueue:
+          set(chan_out(e, 0), e.init > 0 || carry[chan_in(e, 0)]);
+          break;
+        case PrimitiveKind::kFunction:
+          set(chan_out(e, 0), carry[chan_in(e, 0)]);
+          break;
+        case PrimitiveKind::kFork:
+          set(chan_out(e, 0), carry[chan_in(e, 0)]);
+          set(chan_out(e, 1), carry[chan_in(e, 0)]);
+          break;
+        case PrimitiveKind::kJoin:
+          set(chan_out(e, 0), carry[chan_in(e, 0)] && carry[chan_in(e, 1)]);
+          break;
+        case PrimitiveKind::kMerge:
+          set(chan_out(e, 0), carry[chan_in(e, 0)] || carry[chan_in(e, 1)]);
+          break;
+        case PrimitiveKind::kSwitch:
+          if (e.pred != Predicate::kSecond) {
+            set(chan_out(e, 0), carry[chan_in(e, 0)]);
+          }
+          if (e.pred != Predicate::kFirst) {
+            set(chan_out(e, 1), carry[chan_in(e, 0)]);
+          }
+          break;
+        case PrimitiveKind::kSink:
+          break;
+      }
+    }
+  }
+  return carry;
+}
+
+// ---- builtin fabrics --------------------------------------------------------
+
+namespace {
+
+Element queue(std::string name, int capacity, int init = 0) {
+  Element e;
+  e.kind = PrimitiveKind::kQueue;
+  e.name = std::move(name);
+  e.capacity = capacity;
+  e.init = init;
+  return e;
+}
+
+Element simple(PrimitiveKind kind, std::string name) {
+  Element e;
+  e.kind = kind;
+  e.name = std::move(name);
+  return e;
+}
+
+Element switch_(std::string name, Predicate pred) {
+  Element e;
+  e.kind = PrimitiveKind::kSwitch;
+  e.name = std::move(name);
+  e.pred = pred;
+  return e;
+}
+
+Channel chan(std::string name, std::string from_elem, std::string from_port,
+             std::string to_elem, std::string to_port) {
+  return Channel{std::move(name),
+                 PortRef{std::move(from_elem), std::move(from_port)},
+                 PortRef{std::move(to_elem), std::move(to_port)},
+                 0};
+}
+
+/// The xSTream credit-protocol loop; @p credits = 0 seeds the MV031
+/// structural deadlock (the credit cycle starts token-free).
+Netlist credit_loop(int capacity, int credits) {
+  Netlist n;
+  n.name = credits > 0 ? "credit-loop" : "credit-loop-deadlock";
+  n.add(simple(PrimitiveKind::kSource, "src"));
+  n.add(queue("stage", 1));
+  n.add(simple(PrimitiveKind::kJoin, "grant"));
+  n.add(queue("data", capacity));
+  n.add(simple(PrimitiveKind::kFork, "deliver"));
+  n.add(queue("credit", capacity, credits));
+  n.add(simple(PrimitiveKind::kSink, "snk"));
+  n.connect(chan("push", "src", "out", "stage", "in"));
+  n.connect(chan("tx", "stage", "out", "grant", "in0"));
+  n.connect(chan("crd", "credit", "out", "grant", "in1"));
+  n.connect(chan("net", "grant", "out", "data", "in"));
+  n.connect(chan("rdy", "data", "out", "deliver", "in"));
+  n.connect(chan("pop", "deliver", "out0", "snk", "in"));
+  n.connect(chan("ret", "deliver", "out1", "credit", "in"));
+  return n;
+}
+
+/// Two virtual channels sharing one physical link: private 1-place stages,
+/// a merge onto the shared link queue, and a (data-abstract, hence
+/// nondeterministic) switch back out to two sinks.
+Netlist vc_pair(int capacity) {
+  Netlist n;
+  n.name = "vc-pair";
+  n.add(simple(PrimitiveKind::kSource, "src0"));
+  n.add(simple(PrimitiveKind::kSource, "src1"));
+  n.add(queue("stage0", 1));
+  n.add(queue("stage1", 1));
+  n.add(simple(PrimitiveKind::kMerge, "arb"));
+  n.add(queue("link", capacity));
+  n.add(switch_("route", Predicate::kAny));
+  n.add(simple(PrimitiveKind::kSink, "snk0"));
+  n.add(simple(PrimitiveKind::kSink, "snk1"));
+  n.connect(chan("push0", "src0", "out", "stage0", "in"));
+  n.connect(chan("push1", "src1", "out", "stage1", "in"));
+  n.connect(chan("req0", "stage0", "out", "arb", "in0"));
+  n.connect(chan("req1", "stage1", "out", "arb", "in1"));
+  n.connect(chan("flit", "arb", "out", "link", "in"));
+  n.connect(chan("head", "link", "out", "route", "in"));
+  n.connect(chan("pop0", "route", "out0", "snk0", "in"));
+  n.connect(chan("pop1", "route", "out1", "snk1", "in"));
+  return n;
+}
+
+/// A 2-router mesh fragment with *constant* switch predicates: router 0
+/// forwards all traffic to router 1 (pred=second), router 1 delivers all
+/// traffic locally (pred=first).  The return ring channel into router 0's
+/// merge therefore never carries a token — the MV033 starvation advisory —
+/// but the fabric stays live and deadlock-free (the effective flow is
+/// acyclic).
+Netlist mesh2(int capacity) {
+  Netlist n;
+  n.name = "mesh2";
+  for (int r = 0; r < 2; ++r) {
+    const std::string i = std::to_string(r);
+    n.add(simple(PrimitiveKind::kSource, "src" + i));
+    n.add(simple(PrimitiveKind::kMerge, "in" + i));
+    n.add(queue("buf" + i, capacity));
+    n.add(switch_("out" + i, r == 0 ? Predicate::kSecond : Predicate::kFirst));
+    n.add(simple(PrimitiveKind::kSink, "snk" + i));
+    n.connect(chan("inject" + i, "src" + i, "out", "in" + i, "in0"));
+    n.connect(chan("enq" + i, "in" + i, "out", "buf" + i, "in"));
+    n.connect(chan("head" + i, "buf" + i, "out", "out" + i, "in"));
+    n.connect(chan("eject" + i, "out" + i, "out0", "snk" + i, "in"));
+  }
+  // Ring links: router r's remote output feeds the other router's merge.
+  n.connect(chan("ring0", "out0", "out1", "in1", "in1"));
+  n.connect(chan("ring1", "out1", "out1", "in0", "in1"));
+  return n;
+}
+
+}  // namespace
+
+const std::vector<std::string>& builtin_fabric_names() {
+  static const std::vector<std::string> names = {
+      "credit-loop", "credit-loop-deadlock", "vc-pair", "mesh2"};
+  return names;
+}
+
+Netlist builtin_fabric(const std::string& name, int capacity) {
+  if (capacity < 1 || capacity > 8) {
+    throw std::invalid_argument(
+        "builtin_fabric: capacity must be in 1..8 (state-space bound)");
+  }
+  if (name == "credit-loop") {
+    return credit_loop(capacity, capacity);
+  }
+  if (name == "credit-loop-deadlock") {
+    return credit_loop(capacity, 0);
+  }
+  if (name == "vc-pair") {
+    return vc_pair(capacity);
+  }
+  if (name == "mesh2") {
+    return mesh2(capacity);
+  }
+  std::string known;
+  for (const std::string& k : builtin_fabric_names()) {
+    known += (known.empty() ? "" : ", ") + k;
+  }
+  throw std::invalid_argument("builtin_fabric: unknown fabric '" + name +
+                              "' (known: " + known + ")");
+}
+
+}  // namespace multival::xmas

@@ -1,0 +1,169 @@
+// xMAS communication fabrics: typed micro-architectural primitives wired
+// into a checked netlist ("A formalisation of XMAS", van Gastel & Schmaltz).
+//
+// The eight canonical primitives and their ports:
+//
+//   queue    cap C, init I     in        -> out     (the only stateful one)
+//   function                   in        -> out     (combinational transform)
+//   fork                       in        -> out0, out1
+//   join                       in0, in1  -> out
+//   switch   pred p            in        -> out0, out1
+//   merge                      in0, in1  -> out
+//   source   rate λ                      -> out     (token injection)
+//   sink     rate μ            in        ->         (token consumption)
+//
+// Channels are point-to-point: each connects exactly one initiator port
+// (an element output) to exactly one target port (an element input).  A
+// netlist is *checked* — check() proves every port is wired exactly once
+// and every channel endpoint names a real element/port; violations are
+// core::Diagnostic errors (MV030) carrying the element path, never
+// exceptions, so the CLI and the analyze lint report them uniformly.
+//
+// Data is abstracted to tokens (the quantitative flow only depends on
+// occupancy), so a switch routes nondeterministically unless its predicate
+// is constant (Predicate::kFirst / kSecond) — the deterministic case the
+// MV033 merge-starvation lint reasons about.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/diag.hpp"
+
+namespace multival::xmas {
+
+enum class PrimitiveKind {
+  kQueue,
+  kFunction,
+  kFork,
+  kJoin,
+  kSwitch,
+  kMerge,
+  kSource,
+  kSink,
+};
+
+[[nodiscard]] const char* to_string(PrimitiveKind k);
+/// "queue" -> kQueue ...; nullopt on an unknown word.
+[[nodiscard]] std::optional<PrimitiveKind> parse_primitive_kind(
+    std::string_view word);
+
+/// Routing predicate of a switch.  Data is abstract, so kAny explores both
+/// outputs nondeterministically; kFirst/kSecond model a predicate that is
+/// constant over the traffic actually offered (the MV033 idiom).
+enum class Predicate { kAny, kFirst, kSecond };
+
+[[nodiscard]] const char* to_string(Predicate p);
+
+struct Element {
+  PrimitiveKind kind = PrimitiveKind::kQueue;
+  std::string name;
+  int capacity = 1;   ///< kQueue: places (1..8)
+  int init = 0;       ///< kQueue: tokens initially present (0..capacity)
+  double rate = 1.0;  ///< kSource injection / kSink service rate (> 0)
+  Predicate pred = Predicate::kAny;  ///< kSwitch only
+
+  [[nodiscard]] std::size_t num_inputs() const;
+  [[nodiscard]] std::size_t num_outputs() const;
+  /// Port names in index order: "in"/"out" for 1-ary sides, "in0","in1" /
+  /// "out0","out1" for 2-ary ones.
+  [[nodiscard]] std::string input_port(std::size_t i) const;
+  [[nodiscard]] std::string output_port(std::size_t i) const;
+};
+
+/// One endpoint of a channel: an element name plus a port name.
+struct PortRef {
+  std::string element;
+  std::string port;
+
+  [[nodiscard]] std::string to_string() const { return element + "." + port; }
+};
+
+struct Channel {
+  std::string name;   ///< unique; doubles as the compiled gate name stem
+  PortRef initiator;  ///< an element *output* port
+  PortRef target;     ///< an element *input* port
+  std::size_t line = 0;  ///< 1-based source line when parsed from .xmas
+};
+
+/// A fabric: elements plus the channels wiring their ports.
+class Netlist {
+ public:
+  std::string name = "fabric";
+
+  /// Adds an element; duplicate names are reported by check(), not thrown.
+  void add(Element e) { elements_.push_back(std::move(e)); }
+  void connect(Channel c) { channels_.push_back(std::move(c)); }
+
+  [[nodiscard]] const std::vector<Element>& elements() const {
+    return elements_;
+  }
+  [[nodiscard]] const std::vector<Channel>& channels() const {
+    return channels_;
+  }
+
+  [[nodiscard]] const Element* find(std::string_view element_name) const;
+
+  /// Channel driving input port @p i of @p e (index into channels()), or
+  /// npos when unwired/ambiguous.  Only meaningful on a checked netlist.
+  [[nodiscard]] std::size_t input_channel(const Element& e,
+                                          std::size_t i) const;
+  [[nodiscard]] std::size_t output_channel(const Element& e,
+                                           std::size_t i) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Structural well-formedness (MV030, all errors): unique element and
+  /// channel names, attribute ranges (queue capacity/init, source/sink
+  /// rates), channel endpoints naming real elements and ports of the right
+  /// direction, and every port wired exactly once (dangling and
+  /// doubly-driven ports both carry the offending element path).
+  [[nodiscard]] std::vector<core::Diagnostic> check() const;
+
+ private:
+  std::vector<Element> elements_;
+  std::vector<Channel> channels_;
+};
+
+/// The token-carriability least fixed point over a *checked* netlist:
+/// out[i] is true iff channel i can ever carry a token (sources always
+/// carry; queues carry iff seeded or fed; a join output needs both inputs;
+/// a constant switch predicate kills the other side — see the transfer
+/// functions in the implementation).  This is the shared engine of the
+/// MV031/MV033 lints (analyze::lint_netlist) and of the compiler's
+/// dead-structure pruning; @p passes, when non-null, receives the number of
+/// Kleene iterations.
+[[nodiscard]] std::vector<bool> carriable_channels(const Netlist& n,
+                                                   std::size_t* passes =
+                                                       nullptr);
+
+// ---- builtin fabrics --------------------------------------------------------
+
+/// Names of the shipped fabrics, the xmas counterpart of the case-study
+/// generator registry: "credit-loop", "credit-loop-deadlock" (the seeded
+/// MV031 structural deadlock), "vc-pair" and "mesh2".
+[[nodiscard]] const std::vector<std::string>& builtin_fabric_names();
+
+/// Builds a shipped fabric.  @p capacity sizes every payload queue (1..8).
+/// Throws std::invalid_argument on an unknown name or capacity range.
+///
+///   credit-loop           the xSTream virtual queue as a fabric: source ->
+///                         1-place tx stage -> join(credits) -> payload
+///                         queue -> fork -> {sink, credit queue (init =
+///                         capacity) -> join}.  Lint-clean.
+///   credit-loop-deadlock  same loop with the credit queue starting empty:
+///                         the join's credit input lies on a token-free
+///                         cycle (MV031 structural deadlock).
+///   vc-pair               two sources with private 1-place stages merged
+///                         onto one shared link queue, then a
+///                         nondeterministic switch to two sinks.
+///   mesh2                 a 2-router mesh fragment with constant switch
+///                         predicates: router 0 forwards everything to
+///                         router 1, whose return channel into router 0's
+///                         merge therefore starves (MV033 advisory).
+[[nodiscard]] Netlist builtin_fabric(const std::string& name,
+                                     int capacity = 2);
+
+}  // namespace multival::xmas

@@ -1,0 +1,240 @@
+#include "xmas/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace multival::xmas {
+namespace {
+
+[[noreturn]] void fail(std::size_t line, std::size_t column, std::string msg,
+                       std::string hint = {}) {
+  core::Diagnostic d;
+  d.code = "MV010";
+  d.severity = core::Severity::kError;
+  d.message = std::move(msg);
+  d.line = line;
+  d.column = column;
+  d.hint = std::move(hint);
+  throw ParseError(std::move(d));
+}
+
+/// One whitespace-delimited token plus the 1-based column it starts at.
+struct Token {
+  std::string text;
+  std::size_t column = 0;
+};
+
+std::vector<Token> tokenize(std::string_view line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (std::isspace(static_cast<unsigned char>(line[i])) != 0) {
+      ++i;
+      continue;
+    }
+    if (line[i] == '#') break;
+    std::size_t start = i;
+    while (i < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[i])) == 0 &&
+           line[i] != '#') {
+      ++i;
+    }
+    out.push_back({std::string(line.substr(start, i - start)), start + 1});
+  }
+  return out;
+}
+
+bool valid_identifier(std::string_view word) {
+  if (word.empty()) return false;
+  for (char c : word) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_' &&
+        c != '-') {
+      return false;
+    }
+  }
+  return std::isdigit(static_cast<unsigned char>(word.front())) == 0;
+}
+
+int parse_int_attr(const Token& tok, std::string_view value, std::size_t line,
+                   std::string_view attr) {
+  int v = 0;
+  auto [ptr, ec] = std::from_chars(value.data(), value.data() + value.size(), v);
+  if (ec != std::errc{} || ptr != value.data() + value.size()) {
+    fail(line, tok.column,
+         "attribute '" + std::string(attr) + "' needs an integer, got '" +
+             std::string(value) + "'");
+  }
+  return v;
+}
+
+double parse_rate_attr(const Token& tok, std::string_view value,
+                       std::size_t line) {
+  try {
+    std::size_t used = 0;
+    double v = std::stod(std::string(value), &used);
+    if (used == value.size()) return v;
+  } catch (const std::exception&) {
+  }
+  fail(line, tok.column,
+       "attribute 'rate' needs a number, got '" + std::string(value) + "'");
+}
+
+/// Splits "elem.port" at the last dot; complains otherwise.
+PortRef parse_port_ref(const Token& tok, std::size_t line) {
+  auto dot = tok.text.rfind('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 == tok.text.size()) {
+    fail(line, tok.column,
+         "expected <element>.<port>, got '" + tok.text + "'",
+         "ports are in/out, or in0/in1/out0/out1 on two-ary sides");
+  }
+  return {tok.text.substr(0, dot), tok.text.substr(dot + 1)};
+}
+
+void parse_element(const std::vector<Token>& toks, PrimitiveKind kind,
+                   std::size_t line, Netlist& out) {
+  if (toks.size() < 2) {
+    fail(line, toks[0].column,
+         std::string(to_string(kind)) + " declaration needs a name",
+         std::string(to_string(kind)) + " <name> [attr=value ...]");
+  }
+  if (!valid_identifier(toks[1].text)) {
+    fail(line, toks[1].column,
+         "'" + toks[1].text + "' is not a valid element name",
+         "names are letters, digits, '_' or '-', not starting with a digit");
+  }
+  Element e;
+  e.kind = kind;
+  e.name = toks[1].text;
+  if (kind == PrimitiveKind::kQueue) e.capacity = 1;
+  for (std::size_t i = 2; i < toks.size(); ++i) {
+    const Token& tok = toks[i];
+    auto eq = tok.text.find('=');
+    if (eq == std::string::npos) {
+      fail(line, tok.column, "expected attr=value, got '" + tok.text + "'");
+    }
+    std::string attr = tok.text.substr(0, eq);
+    std::string value = tok.text.substr(eq + 1);
+    if (attr == "capacity" && kind == PrimitiveKind::kQueue) {
+      e.capacity = parse_int_attr(tok, value, line, attr);
+    } else if (attr == "init" && kind == PrimitiveKind::kQueue) {
+      e.init = parse_int_attr(tok, value, line, attr);
+    } else if (attr == "rate" && (kind == PrimitiveKind::kSource ||
+                                  kind == PrimitiveKind::kSink)) {
+      e.rate = parse_rate_attr(tok, value, line);
+    } else if (attr == "pred" && kind == PrimitiveKind::kSwitch) {
+      if (value == "any") {
+        e.pred = Predicate::kAny;
+      } else if (value == "first") {
+        e.pred = Predicate::kFirst;
+      } else if (value == "second") {
+        e.pred = Predicate::kSecond;
+      } else {
+        fail(line, tok.column,
+             "switch predicate must be any, first or second, got '" + value +
+                 "'");
+      }
+    } else {
+      fail(line, tok.column,
+           "attribute '" + attr + "' does not apply to a " +
+               std::string(to_string(kind)),
+           "capacity/init fit queues, rate fits sources and sinks, pred fits "
+           "switches");
+    }
+  }
+  out.add(std::move(e));
+}
+
+void parse_channel(const std::vector<Token>& toks, std::size_t line,
+                   Netlist& out) {
+  // channel <name> <elem>.<port> -> <elem>.<port>
+  if (toks.size() != 5 || toks[3].text != "->") {
+    std::size_t col = toks.size() > 1 ? toks[1].column : toks[0].column;
+    fail(line, col, "malformed channel declaration",
+         "channel <name> <element>.<out-port> -> <element>.<in-port>");
+  }
+  if (!valid_identifier(toks[1].text)) {
+    fail(line, toks[1].column,
+         "'" + toks[1].text + "' is not a valid channel name");
+  }
+  Channel c;
+  c.name = toks[1].text;
+  c.initiator = parse_port_ref(toks[2], line);
+  c.target = parse_port_ref(toks[4], line);
+  c.line = line;
+  out.connect(std::move(c));
+}
+
+}  // namespace
+
+Netlist parse_netlist(std::string_view text) {
+  Netlist out;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  bool saw_fabric = false;
+  while (pos <= text.size()) {
+    auto nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    ++line_no;
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    auto toks = tokenize(line);
+    if (toks.empty()) continue;
+    const std::string& head = toks[0].text;
+    if (head == "fabric") {
+      if (toks.size() != 2) {
+        fail(line_no, toks[0].column, "fabric directive needs exactly a name",
+             "fabric <name>");
+      }
+      if (saw_fabric) {
+        fail(line_no, toks[0].column,
+             "duplicate fabric directive; one netlist per file");
+      }
+      saw_fabric = true;
+      out.name = toks[1].text;
+    } else if (head == "channel") {
+      parse_channel(toks, line_no, out);
+    } else if (auto kind = parse_primitive_kind(head)) {
+      parse_element(toks, *kind, line_no, out);
+    } else {
+      fail(line_no, toks[0].column, "unknown directive '" + head + "'",
+           "expected fabric, channel, or a primitive kind (queue, function, "
+           "fork, join, switch, merge, source, sink)");
+    }
+  }
+  return out;
+}
+
+std::string to_text(const Netlist& n) {
+  std::ostringstream os;
+  os << "fabric " << n.name << "\n";
+  for (const Element& e : n.elements()) {
+    os << to_string(e.kind) << " " << e.name;
+    switch (e.kind) {
+      case PrimitiveKind::kQueue:
+        os << " capacity=" << e.capacity;
+        if (e.init != 0) os << " init=" << e.init;
+        break;
+      case PrimitiveKind::kSource:
+      case PrimitiveKind::kSink:
+        os << " rate=" << e.rate;
+        break;
+      case PrimitiveKind::kSwitch:
+        if (e.pred != Predicate::kAny) os << " pred=" << to_string(e.pred);
+        break;
+      default:
+        break;
+    }
+    os << "\n";
+  }
+  for (const Channel& c : n.channels()) {
+    os << "channel " << c.name << " " << c.initiator.to_string() << " -> "
+       << c.target.to_string() << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace multival::xmas

@@ -1,0 +1,56 @@
+// Textual front end for xMAS netlists, so fabrics can live in `.xmas`
+// files the way process models live in `.proc` files.
+//
+// One directive per line; '#' starts a comment:
+//
+//   fabric <name>                         optional title
+//   queue  <name> [capacity=C] [init=I]   element declarations
+//   source <name> [rate=R]
+//   sink   <name> [rate=R]
+//   switch <name> [pred=any|first|second]
+//   function | fork | join | merge  <name>
+//   channel <name> <elem>.<port> -> <elem>.<port>
+//
+// Ports are "in"/"out" for 1-ary sides and "in0","in1"/"out0","out1" for
+// 2-ary ones.  Malformed text raises ParseError carrying an MV010
+// core::Diagnostic with the 1-based line/column of the offending token —
+// the same error path the .proc parser uses, so `multival_cli xmas --lint`
+// reports syntax and structure identically.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "core/diag.hpp"
+#include "xmas/netlist.hpp"
+
+namespace multival::xmas {
+
+/// Parse failure with a structured MV010 diagnostic (line/column).
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(core::Diagnostic d)
+      : std::runtime_error("parse error at line " + std::to_string(d.line) +
+                           ", column " + std::to_string(d.column) + ": " +
+                           d.message),
+        diagnostic_(std::move(d)) {}
+
+  [[nodiscard]] const core::Diagnostic& diagnostic() const {
+    return diagnostic_;
+  }
+
+ private:
+  core::Diagnostic diagnostic_;
+};
+
+/// Parses a whole `.xmas` netlist.  Syntax errors throw ParseError;
+/// structural problems (dangling ports...) are left to Netlist::check().
+[[nodiscard]] Netlist parse_netlist(std::string_view text);
+
+/// Renders @p n back into parseable `.xmas` text (element declarations in
+/// insertion order, then channels).
+[[nodiscard]] std::string to_text(const Netlist& n);
+
+}  // namespace multival::xmas

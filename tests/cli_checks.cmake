@@ -47,5 +47,15 @@ expect_usage_failure(dse -j banana)                       # bad number
 expect_usage_failure(dse --repeat 0)                      # must be >= 1
 expect_usage_failure(dse --spec)                          # flag missing value
 expect_usage_failure(dse --spec a.sweep --builtin smoke)  # two sources at once
+expect_usage_failure(xmas)                                # nothing to process
+expect_usage_failure(xmas --lint)                         # still no input
+expect_usage_failure(xmas f.xmas --builtin credit-loop)   # two inputs at once
+expect_usage_failure(xmas --builtin no-such-fabric)       # unknown builtin
+expect_usage_failure(xmas f.xmas --capacity 2)            # builtin-only flag
+expect_usage_failure(xmas --builtin credit-loop --capacity 99)  # out of range
+expect_usage_failure(xmas --builtin credit-loop --items banana) # bad number
+expect_usage_failure(xmas --builtin credit-loop --lint --solve) # two modes
+expect_usage_failure(xmas --builtin credit-loop --no-such-flag)
+expect_usage_failure(xmas --builtin credit-loop -o)       # flag missing value
 
 message(STATUS "all CLI usage checks passed")

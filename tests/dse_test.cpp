@@ -141,14 +141,14 @@ TEST(DseGrid, BuiltinSweepsExpandToTheDocumentedSizes) {
   const std::vector<dse::Point> d = dse::expand(
       dse::parse_sweep_spec(dse::builtin_sweep_spec("default")),
       dse::derived_quantities, &pruned);
-  EXPECT_EQ(d.size(), 36u);
+  EXPECT_EQ(d.size(), 54u);
   EXPECT_EQ(pruned, 4u);
   EXPECT_GE(d.size(), 24u);  // the EXPERIMENTS.md D1 floor
 
   const std::vector<dse::Point> s = dse::expand(
       dse::parse_sweep_spec(dse::builtin_sweep_spec("smoke")),
       dse::derived_quantities);
-  EXPECT_LE(s.size(), 6u);
+  EXPECT_LE(s.size(), 8u);
   EXPECT_THROW((void)dse::builtin_sweep_spec("no-such-sweep"),
                dse::SpecError);
 }

@@ -7,9 +7,11 @@
 # advisories are allowed — the noc scenarios use the restriction idiom on
 # purpose).  A deliberately ill-formed model must fail with the documented
 # MV0xx code on stdout, not a crash or a silent pass.
-if(NOT DEFINED CLI OR NOT DEFINED MODELS)
+if(NOT DEFINED CLI OR NOT DEFINED MODELS OR NOT DEFINED FABRICS
+   OR NOT DEFINED FIXTURES)
   message(FATAL_ERROR
-    "pass -DCLI=<path to multival_cli> -DMODELS=<examples/models dir>")
+    "pass -DCLI=<path to multival_cli> -DMODELS=<examples/models dir> "
+    "-DFABRICS=<examples/fabrics dir> -DFIXTURES=<tests/fabrics dir>")
 endif()
 
 function(expect_lint_clean)
@@ -72,5 +74,85 @@ expect_lint_error(MV010 ${CMAKE_CURRENT_BINARY_DIR}/lint_broken_syntax.proc)
 # (e) an undefined entry process is caught even when the definitions are
 # fine on their own.
 expect_lint_error(MV001 ${MODELS}/mutex.proc NoSuchProcess)
+
+# ---- xMAS netlist lint (the xmas subcommand, MV03x) --------------------------
+
+# Same contracts as expect_lint_clean/expect_lint_error, for `xmas --lint`.
+function(expect_xmas_clean)
+  execute_process(COMMAND ${CLI} xmas ${ARGN} --lint
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR
+      "multival_cli xmas ${ARGN} --lint: expected exit 0, got ${rc}:\n"
+      "${out}${err}")
+  endif()
+endfunction()
+
+function(expect_xmas_finding code)
+  execute_process(COMMAND ${CLI} xmas ${ARGN} --lint --strict
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 1)
+    message(FATAL_ERROR
+      "multival_cli xmas ${ARGN} --lint --strict: expected exit 1, got "
+      "${rc}:\n${out}${err}")
+  endif()
+  if(NOT out MATCHES "${code}")
+    message(FATAL_ERROR
+      "multival_cli xmas ${ARGN} --lint --strict: expected ${code} in "
+      "output, got:\n${out}")
+  endif()
+endfunction()
+
+# (f) every healthy builtin fabric and every example .xmas netlist is
+# error-free (mesh2 carries an intentional MV033 warning); the shipped
+# seeded-deadlock fabric must fail with MV031.
+expect_xmas_clean(--builtin credit-loop)
+expect_xmas_clean(--builtin vc-pair)
+expect_xmas_clean(--builtin mesh2)
+expect_xmas_finding(MV031 --builtin credit-loop-deadlock)
+file(GLOB fabrics ${FABRICS}/*.xmas)
+if(NOT fabrics)
+  message(FATAL_ERROR "no .xmas fabrics found under ${FABRICS}")
+endif()
+foreach(fabric IN LISTS fabrics)
+  expect_xmas_clean(${fabric})
+endforeach()
+
+# (g) each golden MV03x fixture fails with its documented code, and its
+# repaired twin lints clean even under --strict (warnings promoted).
+foreach(check 030 031 032 033)
+  expect_xmas_finding(MV${check} ${FIXTURES}/mv${check}_seeded.xmas)
+  expect_xmas_clean(${FIXTURES}/mv${check}_repaired.xmas --strict)
+endforeach()
+
+# (h) the MV031 seeded deadlock is rejected *structurally*: the lint report
+# must state that zero states were generated.
+execute_process(COMMAND ${CLI} xmas ${FIXTURES}/mv031_seeded.xmas --lint
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 1 OR NOT out MATCHES "0 states generated")
+  message(FATAL_ERROR
+    "mv031_seeded lint: expected exit 1 with '0 states generated', got "
+    "${rc}:\n${out}${err}")
+endif()
+
+# (i) unparseable .xmas text is the MV010 diagnostic with a position, not a
+# crash.
+file(WRITE ${CMAKE_CURRENT_BINARY_DIR}/lint_broken_fabric.xmas
+  "fabric broken\nqueue q capacity=zero\n")
+execute_process(COMMAND ${CLI} xmas
+  ${CMAKE_CURRENT_BINARY_DIR}/lint_broken_fabric.xmas --lint
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 1 OR NOT out MATCHES "MV010")
+  message(FATAL_ERROR
+    "broken .xmas lint: expected exit 1 with MV010, got ${rc}:\n${out}${err}")
+endif()
 
 message(STATUS "all model lint checks passed")
