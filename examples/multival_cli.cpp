@@ -17,7 +17,9 @@
 //       (prints the composition plan, the per-step size table and the
 //        byte-identity check against the flat reference pipeline)
 //   multival_cli lint  <model.proc> [EntryProcess [args...]]
-//                      [--json] [--strict]
+//                      [--json] [--strict] [--bounds [--budget N]]
+//       (--bounds adds the MV040-MV042 static state-bound prediction;
+//        --budget N flags components predicted above N states)
 //   multival_cli lint  --imc <file.imc> | --builtin <name|all>
 //                      [--json] [--strict]
 //   multival_cli lint  --fixed-delay D [--error-bound EPS]   (MV020 advisory)
@@ -28,7 +30,8 @@
 //       props.mcl: one "name: formula" per line; '#' comments
 //   multival_cli dot   <file.aut> [out.dot]
 //   multival_cli serve --socket <path|host:port> [-j N] [--queue N]
-//       [--deadline MS] [--cache-mb N] [--cache-dir DIR]
+//       [--deadline MS] [--cache-mb N] [--cache-dir DIR] [--admit N]
+//       (--admit N rejects models over N states pre-queue, MV042)
 //       (endpoints whose last ':'-field is a decimal port are TCP;
 //        port 0 binds an ephemeral port, printed on startup)
 //   multival_cli client --socket <endpoint> <ping|shutdown>
@@ -60,6 +63,7 @@
 #include "cli_util.hpp"
 
 #include "analyze/analyze.hpp"
+#include "analyze/bounds.hpp"
 #include "compose/plan.hpp"
 #include "dse/driver.hpp"
 #include "dse/grid.hpp"
@@ -564,6 +568,7 @@ int cmd_lint(int argc, char** argv) {
   // lint <model.proc> [Entry [int args...]] [--json] [--strict]
   // lint --imc <file.imc> | --builtin <name|all> [--json] [--strict]
   // lint --fixed-delay D [--error-bound EPS]   (combinable with any mode)
+  // lint ... --bounds [--budget N]   (MV040-MV042 static state bounds)
   std::string model_path;
   std::string imc_path;
   std::string builtin;
@@ -571,6 +576,8 @@ int cmd_lint(int argc, char** argv) {
   std::vector<proc::ExprPtr> entry_args;
   bool json = false;
   bool strict = false;
+  bool bounds = false;
+  std::uint64_t budget = 0;
   bool have_fixed_delay = false;
   double fixed_delay = 0.0;
   double error_bound = 0.05;
@@ -584,6 +591,10 @@ int cmd_lint(int argc, char** argv) {
       imc_path = argv[++i];
     } else if (a == "--builtin" && i + 1 < argc) {
       builtin = argv[++i];
+    } else if (a == "--bounds") {
+      bounds = true;
+    } else if (a == "--budget" && i + 1 < argc) {
+      budget = parse_unsigned(argv[++i], "component budget");
     } else if (a == "--fixed-delay" && i + 1 < argc) {
       have_fixed_delay = true;
       fixed_delay = parse_double(argv[++i], "fixed delay");
@@ -637,6 +648,33 @@ int cmd_lint(int argc, char** argv) {
     a.diagnostics.push_back(std::move(d));
     report(name, a);
   };
+  // --bounds: the MV04x static state-bound prediction (analyze/bounds) on
+  // top of the structural lint; component factors are printed in text mode,
+  // diagnostics merge into the shared exit-code and --json stream.
+  const auto report_bounds = [&](const std::string& name,
+                                 const proc::Program& program,
+                                 const proc::TermPtr& root) {
+    analyze::BoundOptions bopts;
+    bopts.component_budget = budget;
+    const analyze::BoundReport r =
+        analyze::predicted_bounds(program, root, bopts);
+    for (const core::Diagnostic& d : r.diagnostics) {
+      errors += d.severity == core::Severity::kError ? 1 : 0;
+    }
+    findings += r.diagnostics.size();
+    if (json) {
+      collected.insert(collected.end(), r.diagnostics.begin(),
+                       r.diagnostics.end());
+    } else {
+      std::cout << name << ": " << r.summary() << "\n";
+      for (const analyze::ComponentBound& c : r.components) {
+        std::cout << "  component " << c.name << ": "
+                  << analyze::format_states(c.states) << " states"
+                  << (c.cause.empty() ? "" : " — " + c.cause) << "\n";
+      }
+      std::cout << core::render_text(r.diagnostics);
+    }
+  };
 
   if (!model_path.empty()) {
     const std::string text = read_file(model_path);
@@ -645,6 +683,12 @@ int cmd_lint(int argc, char** argv) {
       const proc::TermPtr root =
           entry.empty() ? nullptr : proc::call(entry, std::move(entry_args));
       report(model_path, analyze::lint_program(program, root));
+      if (bounds) {
+        if (root == nullptr) {
+          throw UsageError("lint: --bounds needs an Entry process");
+        }
+        report_bounds(model_path, program, root);
+      }
     } catch (const proc::ProcParseError& e) {
       // Parse failures are lint findings (MV010), not tool crashes.
       report_one(model_path, e.diagnostic());
@@ -669,6 +713,9 @@ int cmd_lint(int argc, char** argv) {
     for (const std::string& name : targets) {
       BuiltinModel m = builtin_model(name);
       report(name, analyze::lint_program(m.program, proc::call(m.entry)));
+      if (bounds) {
+        report_bounds(name, m.program, proc::call(m.entry));
+      }
     }
   }
   if (have_fixed_delay) {
@@ -807,6 +854,9 @@ int cmd_serve(int argc, char** argv) {
       opts.service.workers = parse_unsigned(argv[++i], "worker count");
     } else if (a == "--queue" && i + 1 < argc) {
       opts.service.queue_capacity = parse_unsigned(argv[++i], "queue size");
+    } else if (a == "--admit" && i + 1 < argc) {
+      opts.service.admission_budget =
+          parse_unsigned(argv[++i], "admission budget");
     } else if (a == "--deadline" && i + 1 < argc) {
       opts.service.default_deadline =
           std::chrono::milliseconds(parse_unsigned(argv[++i], "deadline"));
@@ -1203,7 +1253,7 @@ int usage() {
          "  multival_cli compose (--builtin <name> | <model.proc> <Entry>) "
          "[--flat] [-j N] [-o out.aut|out.mvl]\n"
          "  multival_cli lint  <model.proc> [Entry [args...]] [--json] "
-         "[--strict]\n"
+         "[--strict] [--bounds [--budget N]]\n"
          "  multival_cli lint  --imc <file.imc> | --builtin <name|all> "
          "[--json] [--strict]\n"
          "  multival_cli lint  --fixed-delay D [--error-bound EPS]\n"
@@ -1211,7 +1261,7 @@ int usage() {
          "  multival_cli check-file <file.aut> <props.mcl>\n"
          "  multival_cli dot   <file.aut> [out.dot]\n"
          "  multival_cli serve --socket <path|host:port> [-j N] [--queue N] "
-         "[--deadline MS] [--cache-mb N] [--cache-dir DIR]\n"
+         "[--deadline MS] [--cache-mb N] [--cache-dir DIR] [--admit N]\n"
          "  multival_cli client --socket <endpoint> [--retry-ms MS] "
          "<ping|shutdown|stats [--json]>\n"
          "  multival_cli client --socket <endpoint> reach <file.imc> "

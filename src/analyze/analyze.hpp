@@ -45,6 +45,12 @@
 //   MV033 warning  xMAS merge input that can never carry a token because a
 //                  constant switch predicate upstream kills its only feed
 //                  (merge starvation; the arbiter degenerates)
+//   MV040 advice   predicted state-space bound report (interval abstract
+//                  interpretation; see analyze/bounds.hpp)
+//   MV041 err/warn a process parameter grows without bound along a recursion
+//                  (error when provably unguarded and unthrottled)
+//   MV042 advice   a parallel component's predicted bound exceeds the given
+//                  budget (names the operand to split)
 //
 // Soundness directions: MV001/002/005/007/008/009 are exact (syntactic);
 // MV003/MV004's "never fires" part is sound (alphabet over-approximation),

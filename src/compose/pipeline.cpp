@@ -4,13 +4,13 @@
 #include <chrono>
 #include <cstdio>
 #include <list>
-#include <mutex>
 #include <stdexcept>
 #include <string_view>
 #include <unordered_map>
 #include <utility>
 
 #include "bisim/reduction.hpp"
+#include "core/sync.hpp"
 #include "explore/engine.hpp"
 #include "explore/oracle.hpp"
 #include "lts/product.hpp"
@@ -300,7 +300,7 @@ struct LruMinimizeCache::Impl {
   explicit Impl(std::size_t cap) : capacity(cap) {}
 
   std::optional<lts::Lts> get(const std::string& key) {
-    const std::lock_guard<std::mutex> lock(mu);
+    const core::MutexLock lock(mu);
     const auto it = map.find(key);
     if (it == map.end()) {
       ++stats.misses;
@@ -312,7 +312,7 @@ struct LruMinimizeCache::Impl {
   }
 
   void put(const std::string& key, const lts::Lts& value) {
-    const std::lock_guard<std::mutex> lock(mu);
+    const core::MutexLock lock(mu);
     const std::size_t entry_bytes = approx_bytes(value);
     if (const auto it = map.find(key); it != map.end()) {
       bytes -= it->second->bytes;
@@ -333,11 +333,12 @@ struct LruMinimizeCache::Impl {
   }
 
   std::size_t capacity;
-  mutable std::mutex mu;
-  std::list<Entry> lru;  // front = most recently used
-  std::unordered_map<std::string, std::list<Entry>::iterator> map;
-  std::size_t bytes = 0;
-  Stats stats;
+  mutable core::Mutex mu;
+  std::list<Entry> lru MV_GUARDED_BY(mu);  // front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> map
+      MV_GUARDED_BY(mu);
+  std::size_t bytes MV_GUARDED_BY(mu) = 0;
+  Stats stats MV_GUARDED_BY(mu);
 };
 
 LruMinimizeCache::LruMinimizeCache(std::size_t capacity_bytes)
@@ -366,17 +367,17 @@ void LruMinimizeCache::store_subtree(const std::string& plan_key,
 }
 
 LruMinimizeCache::Stats LruMinimizeCache::stats() const {
-  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const core::MutexLock lock(impl_->mu);
   return impl_->stats;
 }
 
 std::size_t LruMinimizeCache::entries() const {
-  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const core::MutexLock lock(impl_->mu);
   return impl_->lru.size();
 }
 
 std::size_t LruMinimizeCache::bytes() const {
-  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const core::MutexLock lock(impl_->mu);
   return impl_->bytes;
 }
 

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "analyze/analyze.hpp"
+#include "analyze/bounds.hpp"
 #include "bisim/reduction.hpp"
 #include "explore/engine.hpp"
 #include "proc/generator.hpp"
@@ -245,6 +246,10 @@ struct Group {
   NodePtr node;
   std::string key;      ///< structural key of the subtree
   std::size_t min_index = 0;
+  /// Product of the members' predicted standalone bounds — an
+  /// over-approximation of this group's product before minimisation, used
+  /// only to break merge-score ties towards smaller intermediates.
+  std::uint64_t pred = 1;
 };
 
 std::vector<std::string> sorted_vec(const GateSet& s) {
@@ -298,6 +303,15 @@ std::string render_node(const Node& n) {
   return "?";
 }
 
+/// Thrown when the static bound analysis proves a component cannot be
+/// generated standalone within the cap; plan_term turns it into a
+/// monolithic fallback that never starts the doomed generation.
+struct StaticSkip {
+  std::string reason;
+  std::vector<std::string> skips;
+  std::vector<std::uint64_t> component_bounds;
+};
+
 Plan build_plan(std::shared_ptr<const proc::Program> program, TermPtr root,
                 const PlanOptions& opts) {
   const std::map<std::string, GateSet> defs = analyze::alphabets(*program);
@@ -311,6 +325,30 @@ Plan build_plan(std::shared_ptr<const proc::Program> program, TermPtr root,
     plan.components.push_back(c.name);
   }
 
+  // Pre-flight: predict each component's *standalone* bound (the leaf is
+  // generated without its peers, exactly like leaf_of below will).  A
+  // component whose predicted bound already exceeds the standalone cap is
+  // doomed — typically a counter whose ceiling lives in a synchronising
+  // peer, like the xstream credit loop — so route to monolithic now
+  // instead of paying the capped generation before the runtime fallback.
+  const std::size_t cap = std::min(opts.max_states, opts.max_component_states);
+  std::vector<std::string> skips;
+  for (std::size_t i = 0; i < flat.components.size(); ++i) {
+    const Component& c = flat.components[i];
+    plan.component_bounds.push_back(
+        analyze::predicted_states(*program, c.term));
+    const std::uint64_t pred = plan.component_bounds.back();
+    if (flat.components.size() > 1 && pred > cap) {
+      skips.push_back("static skip (MV042): component '" + c.name +
+                      "' predicted " + analyze::format_states(pred) +
+                      " states standalone (cap " + std::to_string(cap) + ")");
+    }
+  }
+  if (!skips.empty()) {
+    throw StaticSkip{skips.front(), std::move(skips),
+                     std::move(plan.component_bounds)};
+  }
+
   // One group per component; greedy pair merging.
   std::vector<Group> groups;
   for (std::size_t i = 0; i < flat.components.size(); ++i) {
@@ -322,6 +360,7 @@ Plan build_plan(std::shared_ptr<const proc::Program> program, TermPtr root,
                      std::min(opts.max_states, opts.max_component_states));
     g.key = c.key;
     g.min_index = i;
+    g.pred = plan.component_bounds[i];
     groups.push_back(std::move(g));
   }
   std::set<std::string> hidden;
@@ -343,6 +382,7 @@ Plan build_plan(std::shared_ptr<const proc::Program> program, TermPtr root,
 
   while (groups.size() > 1) {
     double best = -1.0;
+    std::uint64_t best_pred = analyze::kUnboundedStates;
     std::size_t bi = 0;
     std::size_t bj = 1;
     for (std::size_t i = 0; i < groups.size(); ++i) {
@@ -363,8 +403,15 @@ Plan build_plan(std::shared_ptr<const proc::Program> program, TermPtr root,
             (opts.sync_weight * double(inter.size()) +
              opts.hide_weight * double(hideable)) /
             denom;
-        if (score > best) {
-          best = score;
+        // Equal scores are common (symmetric components): break the tie
+        // towards the pair with the smaller predicted product, so the
+        // cheapest intermediate is built first.
+        const std::uint64_t pred =
+            analyze::saturating_mul(groups[i].pred, groups[j].pred);
+        if (score > best + 1e-12 ||
+            (score > best - 1e-12 && pred < best_pred)) {
+          best = score > best ? score : best;
+          best_pred = pred;
           bi = i;
           bj = j;
         }
@@ -381,6 +428,7 @@ Plan build_plan(std::shared_ptr<const proc::Program> program, TermPtr root,
     merged.alpha = groups[bi].alpha;
     merged.alpha.insert(groups[bj].alpha.begin(), groups[bj].alpha.end());
     merged.min_index = std::min(groups[bi].min_index, groups[bj].min_index);
+    merged.pred = analyze::saturating_mul(groups[bi].pred, groups[bj].pred);
     merged.node = compose2(std::move(groups[bi].node), sorted_vec(inter),
                            std::move(groups[bj].node));
     merged.key = fnv128_hex("par(" + groups[bi].key + ",[" +
@@ -449,6 +497,11 @@ Plan plan_term(std::shared_ptr<const proc::Program> program, TermPtr root,
     return plan;
   } catch (const NotPlannable& np) {
     return fallback_plan(program, root, opts, np.reason);
+  } catch (const StaticSkip& skip) {
+    Plan plan = fallback_plan(program, root, opts, skip.reason);
+    plan.static_skips = skip.skips;
+    plan.component_bounds = skip.component_bounds;
+    return plan;
   }
 }
 
@@ -467,6 +520,12 @@ PlanResult evaluate_plan(const Plan& plan, const PlanOptions& opts,
     throw std::invalid_argument("compose::evaluate_plan: empty plan");
   }
   PlanResult result;
+  // Components the planner routed around statically never start
+  // generating; surface the skips in the step log where the runtime
+  // fallback would otherwise have appeared.
+  for (const std::string& skip : plan.static_skips) {
+    result.stats.steps.push_back({skip, 0, 0, 0.0});
+  }
   EvalOptions eo;
   eo.with_minimization = true;
   eo.on_the_fly = opts.reduce_on_the_fly;

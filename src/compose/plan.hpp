@@ -32,6 +32,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -81,6 +82,19 @@ struct Plan {
   bool planned = false;
   std::string fallback_reason;           ///< set when !planned
   std::vector<std::string> components;   ///< leaf names, plan order
+  /// Predicted standalone state bound per component (analyze::
+  /// predicted_states; kUnboundedStates when a counter widens), aligned
+  /// with components.  The planner uses these to break merge-order score
+  /// ties towards smaller intermediate products and to route around
+  /// doomed components *statically*: a component predicted to exceed the
+  /// standalone cap never starts generating — the plan falls back to
+  /// monolithic up front, recording a "static skip (MV042)" step, instead
+  /// of grinding to max_component_states first (the runtime overflow
+  /// fallback in evaluate_plan remains as the backstop).
+  std::vector<std::uint64_t> component_bounds;
+  /// "static skip (MV042): ..." provenance lines; evaluate_plan replays
+  /// them into EvalStats::steps so the skip is visible in reports.
+  std::vector<std::string> static_skips;
   std::string grammar;                   ///< rendered plan expression
   /// Provenance: the term this plan evaluates, in its program.  Lets
   /// evaluate_plan retry monolithically when a *component* overflows the

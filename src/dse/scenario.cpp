@@ -1,10 +1,12 @@
 #include "dse/scenario.hpp"
 
 #include <cmath>
+#include <limits>
 #include <set>
 #include <stdexcept>
 
 #include "analyze/analyze.hpp"
+#include "analyze/bounds.hpp"
 #include "core/flow.hpp"
 #include "fame/mpi.hpp"
 #include "fame/topology.hpp"
@@ -279,6 +281,74 @@ Instantiated instantiate_xmas(const Point& p, compose::Strategy strategy,
 std::map<std::string, AxisValue> derived_quantities(
     const std::string& family, const std::map<std::string, AxisValue>& axes) {
   std::map<std::string, AxisValue> d;
+  const auto axis_long = [&axes](const char* key, long dflt) {
+    if (const auto it = axes.find(key); it != axes.end()) {
+      if (const long* l = std::get_if<long>(&it->second)) {
+        return *l;
+      }
+    }
+    return dflt;
+  };
+  const auto axis_word = [&axes](const char* key, const char* dflt) {
+    if (const auto it = axes.find(key); it != axes.end()) {
+      if (const std::string* w = std::get_if<std::string>(&it->second)) {
+        return *w;
+      }
+    }
+    return std::string(dflt);
+  };
+  // "predicted_states": the static bound of the point's primary gate model
+  // (analyze::predicted_bounds — interval abstract interpretation, zero
+  // states generated), so a spec can prune points *before* instantiation
+  // with e.g. "predicted_states <= 100000".  Saturates to LONG_MAX when the
+  // analysis proves a standalone counter unbounded (the xstream drain) or
+  // the product overflows; out-of-range axes are left for instantiate() to
+  // report, so this never throws.
+  const auto predict = [&d](const std::uint64_t states) {
+    constexpr auto kLongMax = std::numeric_limits<long>::max();
+    d["predicted_states"] =
+        states > static_cast<std::uint64_t>(kLongMax)
+            ? kLongMax
+            : static_cast<long>(states);
+  };
+  try {
+    if (family == "noc") {
+      noc::MeshDims dims;
+      dims.width = static_cast<int>(axis_long("width", 2));
+      dims.height = static_cast<int>(axis_long("height", 2));
+      dims.buffer_depth = static_cast<int>(axis_long("buffer", 1));
+      const int src = static_cast<int>(axis_long("src", 0));
+      const int dst = static_cast<int>(
+          axis_long("dst", static_cast<long>(dims.nodes() - 1)));
+      const proc::Program p =
+          noc::single_packet_program(src, dst, /*hide_links=*/false, dims);
+      predict(analyze::predicted_states(p, proc::call("Scenario")));
+    } else if (family == "fame") {
+      fame::PingPongConfig config;
+      config.protocol = axis_word("protocol", "msi") == "mesi"
+                            ? fame::Protocol::kMesi
+                            : fame::Protocol::kMsi;
+      config.rounds = static_cast<int>(axis_long("rounds", 1));
+      const proc::Program p = fame::pingpong_program(config);
+      predict(analyze::predicted_states(p, proc::call("PingPong")));
+    } else if (family == "xstream") {
+      xstream::QueueConfig cfg;
+      cfg.capacity = static_cast<int>(axis_long("capacity", 2));
+      cfg.max_value = 0;
+      const int items = static_cast<int>(
+          axis_long("items", static_cast<long>(cfg.capacity)));
+      const proc::Program p = xstream::drain_scenario_program(cfg, items);
+      predict(analyze::predicted_states(p, proc::call("DrainScenario")));
+    } else if (family == "xmas") {
+      const xmas::Netlist fab =
+          xmas::builtin_fabric(axis_word("fabric", "credit-loop"),
+                               static_cast<int>(axis_long("capacity", 2)));
+      predict(analyze::predicted_states(fab));
+    }
+  } catch (const std::exception&) {
+    // Bad axis combination: no predicted_states entry; instantiate() will
+    // reject the point with a proper SpecError if it survives pruning.
+  }
   if (family == "noc") {
     long width = 2;
     long height = 2;

@@ -56,7 +56,7 @@ StateStore::Inserted StateStore::insert(std::string_view state) {
   if (options_.mode == StoreMode::kExact) {
     Stripe& stripe =
         *stripes_[splitmix64(primary) & (stripes_.size() - 1)];
-    std::lock_guard<std::mutex> lock(stripe.mu);
+    core::MutexLock lock(stripe.mu);
     const auto it = stripe.exact.find(std::string(state));
     if (it != stripe.exact.end()) {
       hits_.fetch_add(1, std::memory_order_relaxed);
@@ -73,7 +73,7 @@ StateStore::Inserted StateStore::insert(std::string_view state) {
   // Stripe selection must depend on the (masked) key only, so that two
   // states sharing a fingerprint always land in the same shard.
   Stripe& stripe = *stripes_[splitmix64(key) & (stripes_.size() - 1)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
+  core::MutexLock lock(stripe.mu);
   const auto it = stripe.compact.find(key);
   if (it != stripe.compact.end()) {
     if (it->second.first != check) {

@@ -21,12 +21,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "lts/lts.hpp"
 
 namespace multival::explore {
@@ -76,11 +76,11 @@ class StateStore {
 
  private:
   struct Stripe {
-    std::mutex mu;
-    std::unordered_map<std::string, lts::StateId> exact;
+    core::Mutex mu;
+    std::unordered_map<std::string, lts::StateId> exact MV_GUARDED_BY(mu);
     // fingerprint -> (check hash, id)
     std::unordered_map<std::uint64_t, std::pair<std::uint32_t, lts::StateId>>
-        compact;
+        compact MV_GUARDED_BY(mu);
   };
 
   Options options_;

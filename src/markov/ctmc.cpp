@@ -47,7 +47,7 @@ Ctmc& Ctmc::operator=(Ctmc&& other) noexcept {
 }
 
 void Ctmc::invalidate_cache() {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const core::MutexLock lock(cache_mutex_);
   cache_.rate.reset();
   cache_.uniformized.reset();
   cache_.lambda = 0.0;
@@ -128,7 +128,7 @@ std::vector<double> Ctmc::exit_rates() const {
 }
 
 const SparseMatrix& Ctmc::rate_matrix() const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const core::MutexLock lock(cache_mutex_);
   if (!cache_.rate) {
     std::vector<Triplet> ts;
     ts.reserve(transitions_.size());
@@ -143,7 +143,7 @@ const SparseMatrix& Ctmc::rate_matrix() const {
 
 const SparseMatrix& Ctmc::uniformized_dtmc(double& lambda_out,
                                            double factor) const {
-  const std::lock_guard<std::mutex> lock(cache_mutex_);
+  const core::MutexLock lock(cache_mutex_);
   if (!cache_.uniformized || cache_.factor != factor) {
     const std::vector<double> exits = exit_rates();
     double max_exit = 0.0;

@@ -7,12 +7,12 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "markov/sparse.hpp"
 
 namespace multival::markov {
@@ -85,8 +85,8 @@ class Ctmc {
     double lambda = 0.0;
     double factor = 0.0;
   };
-  mutable std::mutex cache_mutex_;
-  mutable MatrixCache cache_;
+  mutable core::Mutex cache_mutex_;
+  mutable MatrixCache cache_ MV_GUARDED_BY(cache_mutex_);
 
  public:
   Ctmc(const Ctmc& other);

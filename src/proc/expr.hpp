@@ -50,6 +50,11 @@ class Expr {
   [[nodiscard]] Kind kind() const { return kind_; }
   [[nodiscard]] Value constant() const { return value_; }
   [[nodiscard]] const std::string& var_name() const { return name_; }
+  [[nodiscard]] UnaryOp unary_op() const { return uop_; }
+  [[nodiscard]] BinaryOp binary_op() const { return bop_; }
+  /// Operand(s): lhs() is set for kUnary and kBinary, rhs() for kBinary.
+  [[nodiscard]] const ExprPtr& lhs() const { return lhs_; }
+  [[nodiscard]] const ExprPtr& rhs() const { return rhs_; }
 
   /// Evaluates under @p env; throws std::out_of_range on unbound variables
   /// and std::domain_error on division/modulo by zero.

@@ -84,6 +84,7 @@ bool get_u64_be(std::istream& is, std::uint64_t& out) {
 ResultCache::ResultCache() : ResultCache(Options{}) {}
 
 ResultCache::ResultCache(Options opts) : opts_(std::move(opts)) {
+  core::MutexLock lock(mu_);  // satisfies sweep's REQUIRES; no contention yet
   if (!opts_.disk_dir.empty()) {
     sweep_stale_tmp();
   }
@@ -118,7 +119,7 @@ void ResultCache::sweep_stale_tmp() {
 }
 
 std::optional<std::string> ResultCache::lookup(const CacheKey& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   const auto it = map_.find(key);
   if (it != map_.end()) {
     lru_.splice(lru_.begin(), lru_, it->second);
@@ -139,7 +140,7 @@ std::optional<std::string> ResultCache::lookup(const CacheKey& key) {
 }
 
 void ResultCache::insert(const CacheKey& key, std::string payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   if (!opts_.disk_dir.empty()) {
     disk_store(key, payload);
   }
@@ -173,17 +174,17 @@ void ResultCache::evict_locked() {
 }
 
 ResultCache::Stats ResultCache::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return stats_;
 }
 
 std::size_t ResultCache::entries() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return lru_.size();
 }
 
 std::size_t ResultCache::bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  core::MutexLock lock(mu_);
   return bytes_;
 }
 

@@ -19,13 +19,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
 
 #include "bisim/equivalence.hpp"
+#include "core/sync.hpp"
 #include "compose/pipeline.hpp"
 #include "serve/hash.hpp"
 
@@ -72,19 +72,26 @@ class ResultCache {
     std::string payload;
   };
 
-  void insert_locked(const CacheKey& key, std::string payload);
-  void evict_locked();
-  void sweep_stale_tmp();
+  void insert_locked(const CacheKey& key, std::string payload)
+      MV_REQUIRES(mu_);
+  void evict_locked() MV_REQUIRES(mu_);
+  void sweep_stale_tmp() MV_REQUIRES(mu_);
   [[nodiscard]] std::string disk_path(const CacheKey& key) const;
-  [[nodiscard]] std::optional<std::string> disk_load(const CacheKey& key);
-  void disk_store(const CacheKey& key, const std::string& payload);
+  // The disk tier maintains the disk_* counters in stats_, so both run
+  // under the lock (file I/O under mu_ is acceptable here: the disk tier
+  // is an optional cold path).
+  [[nodiscard]] std::optional<std::string> disk_load(const CacheKey& key)
+      MV_REQUIRES(mu_);
+  void disk_store(const CacheKey& key, const std::string& payload)
+      MV_REQUIRES(mu_);
 
   Options opts_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
-  std::size_t bytes_ = 0;
-  Stats stats_;
+  mutable core::Mutex mu_;
+  std::list<Entry> lru_ MV_GUARDED_BY(mu_);  // front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_
+      MV_GUARDED_BY(mu_);
+  std::size_t bytes_ MV_GUARDED_BY(mu_) = 0;
+  Stats stats_ MV_GUARDED_BY(mu_);
 };
 
 /// compose::MinimizeCache implementation backed by a ResultCache: the key

@@ -25,10 +25,10 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "core/sync.hpp"
 #include "serve/hash.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
@@ -83,8 +83,8 @@ class Router {
   std::vector<std::string> endpoints_;
   std::vector<Node> ring_;  // sorted by point
 
-  mutable std::mutex mu_;
-  std::vector<Clock::time_point> down_until_;  // guarded by mu_
+  mutable core::Mutex mu_;
+  std::vector<Clock::time_point> down_until_ MV_GUARDED_BY(mu_);
 };
 
 /// Per-replica counters of one RoutedClient (single-threaded like the

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/diag.hpp"
 #include "core/parallel.hpp"
 
 namespace multival::serve {
@@ -145,7 +146,7 @@ Service::~Service() { shutdown(); }
 
 void Service::shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     if (joined_) {
       return;
     }
@@ -190,7 +191,7 @@ void Service::submit_async(Request r, std::function<void(Response)> done) {
     // Ill-formed request: rejected by the pre-flight checks before any
     // worker touches it; the body carries the rendered lint diagnostics.
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      core::MutexLock lock(mu_);
       ++accepted_;
       ++invalid_;
     }
@@ -198,11 +199,35 @@ void Service::submit_async(Request r, std::function<void(Response)> done) {
     return;
   } catch (const std::exception& e) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      core::MutexLock lock(mu_);
       ++accepted_;
       ++failed_;
     }
     done(Response{r.id, Status::kError, e.what()});
+    return;
+  }
+
+  if (opts_.admission_budget > 0 &&
+      prepared.model_states > opts_.admission_budget) {
+    // Over-budget model: the size is known exactly before queuing (the
+    // payload is an already-generated model), so reject it the same way
+    // the static bound analyzer steers the compositional planner (MV042).
+    {
+      core::MutexLock lock(mu_);
+      ++accepted_;
+      ++invalid_;
+    }
+    core::Diagnostic d;
+    d.code = "MV042";
+    d.severity = core::Severity::kAdvice;
+    d.message = "model has " + std::to_string(prepared.model_states) +
+                " states, above the admission budget of " +
+                std::to_string(opts_.admission_budget);
+    d.hint =
+        "minimise or decompose the model before submitting, or raise the "
+        "service's admission budget";
+    const std::vector<core::Diagnostic> diags{d};
+    done(Response{r.id, Status::kInvalid, core::render_text(diags)});
     return;
   }
 
@@ -212,7 +237,7 @@ void Service::submit_async(Request r, std::function<void(Response)> done) {
   Response immediate;
   bool respond_now = false;
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     ++accepted_;
     if (stopping_) {
       ++failed_;
@@ -277,8 +302,10 @@ void Service::worker_loop() {
     // shared per-model state is built once for the whole group.
     std::vector<FlightPtr> group;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      core::MutexLock lock(mu_);
+      cv_.wait(mu_, [this]() MV_REQUIRES(mu_) {
+        return stopping_ || !queue_.empty();
+      });
       if (queue_.empty()) {
         if (stopping_) {
           return;
@@ -313,7 +340,7 @@ void Service::worker_loop() {
     std::vector<Waiter> expired;
     std::vector<FlightPtr> live;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      core::MutexLock lock(mu_);
       for (FlightPtr& flight : group) {
         auto& waiters = flight->waiters;
         for (auto it = waiters.begin(); it != waiters.end();) {
@@ -381,7 +408,7 @@ void Service::worker_loop() {
 
       std::vector<Waiter> waiters;
       {
-        std::lock_guard<std::mutex> lock(mu_);
+        core::MutexLock lock(mu_);
         ++solves_;
         if (ok) {
           cache_.insert(flight->key, body);
@@ -419,7 +446,7 @@ ServiceMetrics Service::metrics() const {
   std::vector<double> solve;
   std::vector<double> latency;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    core::MutexLock lock(mu_);
     m.accepted = accepted_;
     m.completed_ok = completed_ok_;
     m.failed = failed_;

@@ -36,18 +36,17 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/report.hpp"
+#include "core/sync.hpp"
 #include "serve/cache.hpp"
 #include "serve/protocol.hpp"
 #include "serve/solvers.hpp"
@@ -64,6 +63,10 @@ struct ServiceOptions {
   /// Largest group of queued same-model flights a worker answers in one
   /// sweep (see Prepared::batch_key); 1 disables batching.
   std::size_t max_batch = 16;
+  /// Admission gate: a solve request whose parsed model exceeds this many
+  /// states is rejected pre-queue with Status::kInvalid and an MV042
+  /// diagnostic (never reaches a worker).  0 disables the gate.
+  std::size_t admission_budget = 0;
   ResultCache::Options cache;
   /// Budget of the pipeline (minimisation/plan-subtree) cache the service
   /// hands to embedding callers via Service::pipeline_cache().
@@ -159,37 +162,42 @@ class Service {
   using FlightPtr = std::shared_ptr<Flight>;
 
   void worker_loop();
-  void record_sample(std::vector<double>& samples, double ms);
+  void record_sample(std::vector<double>& samples, double ms)
+      MV_REQUIRES(mu_);
 
   ServiceOptions opts_;
   ResultCache cache_;
   // mutable: metrics() const reads its (internally locked) counters.
   mutable PipelineCache pipeline_cache_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<FlightPtr> queue_;
-  std::unordered_map<CacheKey, FlightPtr, CacheKeyHash> in_flight_;
-  bool stopping_ = false;
-  bool joined_ = false;
+  mutable core::Mutex mu_;
+  core::CondVar cv_;
+  // Flight::waiters is also guarded by mu_ once the flight is queued (the
+  // annotation cannot express a member of a pointed-to struct guarded by
+  // the owner's mutex, so that part stays a comment).
+  std::deque<FlightPtr> queue_ MV_GUARDED_BY(mu_);
+  std::unordered_map<CacheKey, FlightPtr, CacheKeyHash> in_flight_
+      MV_GUARDED_BY(mu_);
+  bool stopping_ MV_GUARDED_BY(mu_) = false;
+  bool joined_ MV_GUARDED_BY(mu_) = false;
 
-  // Counters and latency reservoirs, guarded by mu_.
-  std::uint64_t accepted_ = 0;
-  std::uint64_t completed_ok_ = 0;
-  std::uint64_t failed_ = 0;
-  std::uint64_t invalid_ = 0;
-  std::uint64_t shed_ = 0;
-  std::uint64_t timed_out_ = 0;
-  std::uint64_t coalesced_ = 0;
-  std::uint64_t cache_hits_ = 0;
-  std::uint64_t solves_ = 0;
-  std::uint64_t solve_errors_ = 0;
-  std::uint64_t batches_ = 0;
-  std::uint64_t batched_ = 0;
-  std::uint64_t max_batch_ = 0;
-  std::vector<double> queue_wait_ms_;
-  std::vector<double> solve_ms_;
-  std::vector<double> latency_ms_;
+  // Counters and latency reservoirs.
+  std::uint64_t accepted_ MV_GUARDED_BY(mu_) = 0;
+  std::uint64_t completed_ok_ MV_GUARDED_BY(mu_) = 0;
+  std::uint64_t failed_ MV_GUARDED_BY(mu_) = 0;
+  std::uint64_t invalid_ MV_GUARDED_BY(mu_) = 0;
+  std::uint64_t shed_ MV_GUARDED_BY(mu_) = 0;
+  std::uint64_t timed_out_ MV_GUARDED_BY(mu_) = 0;
+  std::uint64_t coalesced_ MV_GUARDED_BY(mu_) = 0;
+  std::uint64_t cache_hits_ MV_GUARDED_BY(mu_) = 0;
+  std::uint64_t solves_ MV_GUARDED_BY(mu_) = 0;
+  std::uint64_t solve_errors_ MV_GUARDED_BY(mu_) = 0;
+  std::uint64_t batches_ MV_GUARDED_BY(mu_) = 0;
+  std::uint64_t batched_ MV_GUARDED_BY(mu_) = 0;
+  std::uint64_t max_batch_ MV_GUARDED_BY(mu_) = 0;
+  std::vector<double> queue_wait_ms_ MV_GUARDED_BY(mu_);
+  std::vector<double> solve_ms_ MV_GUARDED_BY(mu_);
+  std::vector<double> latency_ms_ MV_GUARDED_BY(mu_);
 
   std::vector<std::thread> workers_;
 };

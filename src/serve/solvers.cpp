@@ -109,6 +109,7 @@ Prepared prepare_reach(const Request& r) {
   hash_append(h, *m);
   Prepared p;
   p.key = h.key();
+  p.model_states = m->num_states();
   Hasher hb;
   hb.str(kKeySchema);
   hb.str("batch-reach");
@@ -148,7 +149,10 @@ Prepared prepare_bounds(const Request& r) {
   h.str(kKeySchema);
   h.str("bounds");
   hash_append(h, *m);
-  return Prepared{h.key(), [m]() {
+  Prepared p;
+  p.key = h.key();
+  p.model_states = m->num_states();
+  p.run = [m]() {
     std::vector<bool> absorbing(m->num_states(), false);
     for (imc::StateId s = 0; s < m->num_states(); ++s) {
       absorbing[s] = m->interactive(s).empty() && m->markovian(s).empty();
@@ -158,7 +162,8 @@ Prepared prepare_bounds(const Request& r) {
     return "reach in [" + format_double(rb.min) + ", " +
            format_double(rb.max) + "]; time in [" + format_double(tb.min) +
            ", " + format_double(tb.max) + "]";
-  }};
+  };
+  return p;
 }
 
 Prepared prepare_check(const Request& r) {
@@ -182,13 +187,17 @@ Prepared prepare_check(const Request& r) {
   h.str("check");
   h.str(f->to_string());  // canonical rendering, not the raw input text
   hash_append(h, *l);
-  return Prepared{h.key(), [l, f]() {
+  Prepared p;
+  p.key = h.key();
+  p.model_states = l->num_states();
+  p.run = [l, f]() {
     const mc::StateSet sat = mc::evaluate(*l, f);
     const bool holds = l->num_states() > 0 && sat.contains(l->initial_state());
     return std::string(holds ? "TRUE" : "FALSE") + " sat=" +
            std::to_string(sat.count()) + "/" +
            std::to_string(l->num_states());
-  }};
+  };
+  return p;
 }
 
 // Shared state of a throughput batch: one closed chain and one steady-state
@@ -225,6 +234,7 @@ Prepared prepare_throughput(const Request& r) {
       uniform ? imc::NondetPolicy::kUniform : imc::NondetPolicy::kReject;
   Prepared p;
   p.key = h.key();
+  p.model_states = m->num_states();
   // The closed chain (and its steady state) depends on the scheduler
   // policy, so batches never mix the two.
   Hasher hb;

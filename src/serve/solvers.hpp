@@ -8,6 +8,7 @@
 // (%.17g), so equal models always produce byte-identical bodies.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <memory>
 #include <stdexcept>
@@ -57,6 +58,13 @@ class InvalidRequest : public std::runtime_error {
 struct Prepared {
   CacheKey key;
   std::function<std::string()> run;  ///< deterministic; throws on failure
+
+  /// States of the parsed model payload, known before any worker runs (the
+  /// serve tier receives already-generated models, so the "predicted size"
+  /// of a request is exact).  The service's admission gate compares it
+  /// against ServiceOptions::admission_budget and rejects over-budget
+  /// requests with Status::kInvalid and an MV042 diagnostic pre-queue.
+  std::size_t model_states = 0;
 
   CacheKey batch_key;  ///< zero = not batchable
   /// Builds the state shared by every flight of the batch (e.g. the closed

@@ -124,6 +124,42 @@ TEST(DseGrid, ConstraintsPruneOnAxesAndDerivedQuantities) {
   }
 }
 
+TEST(DseGrid, PredictedStatesConstraintPrunesBeforeInstantiation) {
+  // "predicted_states" is the static bound of the point's gate model
+  // (analyze/bounds — no state is ever generated): capacity-4 builtin
+  // fabrics predict more queue states than capacity-1 ones, so a tight
+  // budget prunes the expensive corners of the grid up front.
+  const dse::SweepSpec open_spec = dse::parse_sweep_spec(
+      "space xmas\n"
+      "  axis fabric = vc-pair\n"
+      "  axis capacity = 1, 4\n"
+      "end\n");
+  const std::vector<dse::Point> all =
+      dse::expand(open_spec, dse::derived_quantities);
+  ASSERT_EQ(all.size(), 2u);
+  const auto predicted = [](const dse::Point& p) {
+    return std::get<long>(
+        dse::derived_quantities(p.family, p.axes).at("predicted_states"));
+  };
+  const long small = predicted(all[0]);
+  const long big = predicted(all[1]);
+  ASSERT_GT(small, 0);
+  ASSERT_GT(big, small);
+
+  const dse::SweepSpec capped = dse::parse_sweep_spec(
+      "space xmas\n"
+      "  axis fabric = vc-pair\n"
+      "  axis capacity = 1, 4\n"
+      "  constraint predicted_states <= " + std::to_string(small) + "\n"
+      "end\n");
+  std::size_t pruned = 0;
+  const std::vector<dse::Point> kept =
+      dse::expand(capped, dse::derived_quantities, &pruned);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(pruned, 1u);
+  EXPECT_EQ(kept[0].get_long("capacity", -1), 1);
+}
+
 TEST(DseGrid, WordConstraintsUseStringEquality) {
   const dse::SweepSpec spec = dse::parse_sweep_spec(
       "space fame\n"

@@ -8,10 +8,11 @@
 # purpose).  A deliberately ill-formed model must fail with the documented
 # MV0xx code on stdout, not a crash or a silent pass.
 if(NOT DEFINED CLI OR NOT DEFINED MODELS OR NOT DEFINED FABRICS
-   OR NOT DEFINED FIXTURES)
+   OR NOT DEFINED FIXTURES OR NOT DEFINED PROC_FIXTURES)
   message(FATAL_ERROR
     "pass -DCLI=<path to multival_cli> -DMODELS=<examples/models dir> "
-    "-DFABRICS=<examples/fabrics dir> -DFIXTURES=<tests/fabrics dir>")
+    "-DFABRICS=<examples/fabrics dir> -DFIXTURES=<tests/fabrics dir> "
+    "-DPROC_FIXTURES=<tests/models dir>")
 endif()
 
 function(expect_lint_clean)
@@ -153,6 +154,61 @@ execute_process(COMMAND ${CLI} xmas
 if(NOT rc EQUAL 1 OR NOT out MATCHES "MV010")
   message(FATAL_ERROR
     "broken .xmas lint: expected exit 1 with MV010, got ${rc}:\n${out}${err}")
+endif()
+
+# ---- MV04x static bound analyzer (lint --bounds) ----------------------------
+
+# (j) the seeded unbounded counter is an MV041 *error* — exit 1 without
+# --strict — and the proof is purely static: the report must state that
+# zero states were generated.  Its guard-repaired twin lints clean.
+execute_process(COMMAND ${CLI} lint ${PROC_FIXTURES}/mv041_seeded.proc
+    System --bounds
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 1 OR NOT out MATCHES "MV041"
+   OR NOT out MATCHES "0 states generated")
+  message(FATAL_ERROR
+    "mv041_seeded lint --bounds: expected exit 1 with MV041 and "
+    "'0 states generated', got ${rc}:\n${out}${err}")
+endif()
+expect_lint_clean(${PROC_FIXTURES}/mv041_repaired.proc System --bounds)
+
+# (k) the seeded over-budget pair: MV042 is an advisory, so it fails the
+# lint only under --strict; the narrowed twin emits no MV042 at the very
+# same budget.
+execute_process(COMMAND ${CLI} lint ${PROC_FIXTURES}/mv042_seeded.proc
+    System --bounds --budget 5 --strict
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 1 OR NOT out MATCHES "MV042")
+  message(FATAL_ERROR
+    "mv042_seeded lint --bounds --budget 5 --strict: expected exit 1 "
+    "with MV042, got ${rc}:\n${out}${err}")
+endif()
+execute_process(COMMAND ${CLI} lint ${PROC_FIXTURES}/mv042_repaired.proc
+    System --bounds --budget 5
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR out MATCHES "MV042")
+  message(FATAL_ERROR
+    "mv042_repaired lint --bounds --budget 5: expected exit 0 without "
+    "MV042, got ${rc}:\n${out}${err}")
+endif()
+
+# (l) --bounds on a model file without an Entry process is a usage error
+# (exit 2), not a crash or a silent structural-only pass.
+execute_process(COMMAND ${CLI} lint ${PROC_FIXTURES}/mv041_seeded.proc
+    --bounds
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 2 OR NOT err MATCHES "needs an Entry process")
+  message(FATAL_ERROR
+    "lint --bounds without Entry: expected exit 2 usage error, got "
+    "${rc}:\n${out}${err}")
 endif()
 
 message(STATUS "all model lint checks passed")

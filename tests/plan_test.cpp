@@ -139,6 +139,59 @@ TEST(Planner, Mesh3x3PlannedMatchesFlat) {
   EXPECT_LE(planned.stats.peak_states, 4 * planned.lts.num_states());
 }
 
+// ---------------------------------------------------- static bound routing --
+
+TEST(Planner, XstreamDrainIsStaticallySkipped) {
+  // The drain scenario's pop side owes credits without a local ceiling, so
+  // generating it standalone can only grind to max_component_states and
+  // then take the runtime monolithic fallback.  The static bound analysis
+  // proves this before any state exists: the plan must arrive as a
+  // monolithic fallback with "static skip (MV042)" provenance, and the
+  // evaluation must never record the runtime fallback step.
+  xstream::QueueConfig cfg;
+  cfg.capacity = 2;
+  cfg.max_value = 0;
+  const auto p = std::make_shared<const proc::Program>(
+      xstream::drain_scenario_program(cfg, 3));
+  const compose::PlanOptions opts;
+  const compose::Plan plan = compose::plan_program(p, "DrainScenario", opts);
+  EXPECT_FALSE(plan.planned);
+  ASSERT_FALSE(plan.static_skips.empty());
+  EXPECT_NE(plan.static_skips[0].find("static skip (MV042)"),
+            std::string::npos);
+  EXPECT_NE(plan.static_skips[0].find("PopSide"), std::string::npos);
+  EXPECT_NE(plan.fallback_reason.find("MV042"), std::string::npos);
+
+  const compose::PlanResult planned = compose::evaluate_plan(plan, opts);
+  bool saw_static_skip = false;
+  for (const compose::StepStat& s : planned.stats.steps) {
+    if (s.description.find("static skip (MV042)") != std::string::npos) {
+      saw_static_skip = true;
+    }
+    EXPECT_EQ(s.description.find("monolithic fallback"), std::string::npos)
+        << "runtime fallback fired despite the static route-around: "
+        << s.description;
+  }
+  EXPECT_TRUE(saw_static_skip);
+
+  // The static detour preserves the byte-identity contract.
+  const compose::PlanResult flat =
+      compose::flat_reference(p, proc::call("DrainScenario", {}), opts);
+  EXPECT_EQ(serialized(planned.lts), serialized(flat.lts));
+}
+
+TEST(Planner, ComponentBoundsAreRecorded) {
+  const auto p = std::make_shared<const proc::Program>(
+      fame::coherence_system_n_program(fame::Protocol::kMesi, 3));
+  const compose::Plan plan = compose::plan_program(p, "SystemN");
+  ASSERT_TRUE(plan.planned) << plan.fallback_reason;
+  ASSERT_EQ(plan.component_bounds.size(), plan.components.size());
+  for (const std::uint64_t b : plan.component_bounds) {
+    EXPECT_GT(b, 0u);
+    EXPECT_LT(b, compose::PlanOptions{}.max_component_states);
+  }
+}
+
 // ------------------------------------------------------ reduction entries --
 
 TEST(Reduction, TauCompressContractsInertChains) {

@@ -483,6 +483,31 @@ TEST(ServeService, MalformedPayloadIsInvalidWithoutTouchingTheQueue) {
   EXPECT_EQ(m.solves, 0u);
 }
 
+TEST(ServeService, AdmissionBudgetRejectsOversizedModelsPreQueue) {
+  serve::ServiceOptions opts;
+  opts.workers = 1;
+  opts.admission_budget = 2;  // kCtmcModel has 4 states
+  serve::Service service(opts);
+  const serve::Response resp =
+      service.evaluate(make_request(serve::Verb::kReach, kCtmcModel));
+  EXPECT_EQ(resp.status, serve::Status::kInvalid);
+  EXPECT_NE(resp.body.find("MV042"), std::string::npos);
+  EXPECT_NE(resp.body.find("admission budget"), std::string::npos);
+  const serve::ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.invalid, 1u);
+  EXPECT_EQ(m.solves, 0u);  // never reached a worker
+
+  // Raising the budget admits the same request unchanged.
+  serve::ServiceOptions open_opts;
+  open_opts.workers = 1;
+  open_opts.admission_budget = 64;
+  serve::Service open_service(open_opts);
+  EXPECT_EQ(
+      open_service.evaluate(make_request(serve::Verb::kReach, kCtmcModel))
+          .status,
+      serve::Status::kOk);
+}
+
 TEST(ServeService, NondetImcOnReachIsInvalidWithAnActionableHint) {
   // reach/throughput need a deterministic closed chain; a nondeterministic
   // IMC can never satisfy them, so the pre-flight lint rejects it with the
